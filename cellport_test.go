@@ -1,0 +1,143 @@
+package cellport_test
+
+import (
+	"math"
+	"testing"
+
+	"cellport"
+)
+
+// TestFacadeEndToEnd ports a toy kernel through the public API only: a
+// saturating brightness adjustment over a byte buffer, DMA'd in and out.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := cellport.DefaultConfig()
+	cfg.MemorySize = 16 << 20
+	m := cellport.NewMachine(cfg)
+
+	const n = 4096
+	spec := cellport.KernelSpec{
+		Name:      "brighten",
+		CodeBytes: 8 * 1024,
+		Functions: map[cellport.Opcode]cellport.KernelFunc{
+			1: func(ctx *cellport.SPEContext, wrapper cellport.Addr) uint32 {
+				buf := ctx.Store().MustAlloc(n, 16)
+				if err := ctx.Get(buf, wrapper, n, 0); err != nil {
+					return 1
+				}
+				ctx.WaitTag(0)
+				b := ctx.Store().Bytes(buf, n)
+				for i := range b {
+					v := int(b[i]) + 40
+					if v > 255 {
+						v = 255
+					}
+					b[i] = byte(v)
+				}
+				ctx.ComputeSIMD(n, 8, 0.9, "brighten")
+				if err := ctx.Put(buf, wrapper, n, 1); err != nil {
+					return 1
+				}
+				ctx.WaitTag(1)
+				return 0
+			},
+		},
+	}
+
+	var out []byte
+	elapsed, err := m.RunMain("facade", func(ctx *cellport.PPEContext) {
+		w, err := cellport.NewWrapper(ctx.Memory(), cellport.WrapperField{Name: "data", Size: n})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data := w.Bytes("data")
+		for i := range data {
+			data[i] = byte(i)
+		}
+		iface, err := cellport.Open(ctx, 0, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res, err := iface.SendAndWait(1, w.Addr()); err != nil || res != 0 {
+			t.Errorf("kernel failed: res=%d err=%v", res, err)
+			return
+		}
+		out = append(out, w.Bytes("data")...)
+		if err := iface.Close(); err != nil {
+			t.Error(err)
+		}
+		if err := w.Free(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no virtual time consumed")
+	}
+	for i, v := range out {
+		want := int(byte(i)) + 40
+		if want > 255 {
+			want = 255
+		}
+		if int(v) != want {
+			t.Fatalf("byte %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestFacadeEstimator(t *testing.T) {
+	s, err := cellport.EstimateSpeedUp1(cellport.EstKernel{Name: "k", Fraction: 0.10, SpeedUp: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1.0989) > 0.0001 {
+		t.Fatalf("Eq.1 = %v", s)
+	}
+	seq, err := cellport.EstimateSequential([]cellport.EstKernel{
+		{Name: "a", Fraction: 0.5, SpeedUp: 50},
+		{Name: "b", Fraction: 0.3, SpeedUp: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := cellport.EstimateGrouped([]cellport.EstGroup{{
+		{Name: "a", Fraction: 0.5, SpeedUp: 50},
+		{Name: "b", Fraction: 0.3, SpeedUp: 60},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp < seq {
+		t.Fatalf("grouped %v < sequential %v", grp, seq)
+	}
+}
+
+func TestFacadeCostModels(t *testing.T) {
+	ppe, spe := cellport.NewPPEModel(), cellport.NewSPEModel()
+	desk, lap := cellport.NewDesktopModel(), cellport.NewLaptopModel()
+	if ppe.Name != "PPE" || spe.Name != "SPE" || desk.Name != "Desktop" || lap.Name != "Laptop" {
+		t.Fatal("model names wrong")
+	}
+	if d := ppe.ScalarOps(1.6e9); d != cellport.Second {
+		t.Fatalf("PPE 1.6G ops = %v, want 1s", d)
+	}
+}
+
+func TestFacadeTracer(t *testing.T) {
+	cfg := cellport.DefaultConfig()
+	cfg.MemorySize = 16 << 20
+	rec := cellport.NewTraceRecorder()
+	cfg.Tracer = rec
+	m := cellport.NewMachine(cfg)
+	if _, err := m.RunMain("traced", func(ctx *cellport.PPEContext) {
+		ctx.ComputeScalar(1e6, "work")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans()) == 0 {
+		t.Fatal("no spans recorded through the façade")
+	}
+}

@@ -1,0 +1,103 @@
+// Command amdahl evaluates the paper's §4.2 performance-estimation
+// equations from the command line — the sanity check a porting effort
+// runs before investing in kernel optimization.
+//
+// Kernels are name:fraction:speedup triples. Sequential schedule (Eq. 2):
+//
+//	amdahl -kernels cc:0.54:52.23,eh:0.28:65.94,ch:0.08:53.67
+//
+// Grouped-parallel schedule (Eq. 3) — '|' separates sequential groups,
+// ',' separates parallel kernels within a group:
+//
+//	amdahl -groups 'ch:0.08:53.67,cc:0.54:52.23,tx:0.06:15.99,eh:0.28:65.94|cd:0.02:10.8'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"cellport/internal/amdahl"
+)
+
+func parseKernel(s string) (amdahl.Kernel, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return amdahl.Kernel{}, fmt.Errorf("kernel %q: want name:fraction:speedup", s)
+	}
+	frac, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return amdahl.Kernel{}, fmt.Errorf("kernel %q: bad fraction: %w", s, err)
+	}
+	sp, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return amdahl.Kernel{}, fmt.Errorf("kernel %q: bad speedup: %w", s, err)
+	}
+	return amdahl.Kernel{Name: parts[0], Fraction: frac, SpeedUp: sp}, nil
+}
+
+func parseKernels(s string) ([]amdahl.Kernel, error) {
+	var out []amdahl.Kernel
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		k, err := parseKernel(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amdahl: ")
+	kernels := flag.String("kernels", "", "sequential schedule (Eq. 2): name:frac:speedup,...")
+	groups := flag.String("groups", "", "grouped schedule (Eq. 3): groups separated by '|'")
+	flag.Parse()
+
+	if *kernels == "" && *groups == "" {
+		flag.Usage()
+		log.Fatal("need -kernels or -groups")
+	}
+
+	if *kernels != "" {
+		ks, err := parseKernels(*kernels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(ks) == 1 {
+			s, err := amdahl.SpeedUp1(ks[0])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Eq. 1: Sapp = %.4f\n", s)
+		}
+		s, err := amdahl.SpeedUpSequential(ks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Eq. 2 (sequential): Sapp = %.4f   (upper bound %.4f)\n", s, amdahl.UpperBound(ks))
+	}
+
+	if *groups != "" {
+		var gs []amdahl.Group
+		for _, g := range strings.Split(*groups, "|") {
+			ks, err := parseKernels(g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gs = append(gs, amdahl.Group(ks))
+		}
+		s, err := amdahl.SpeedUpGrouped(gs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Eq. 3 (grouped-parallel, %d groups): Sapp = %.4f\n", len(gs), s)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKernel(t *testing.T) {
+	k, err := parseKernel("cc:0.54:52.23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "cc" || k.Fraction != 0.54 || k.SpeedUp != 52.23 {
+		t.Fatalf("parsed %+v", k)
+	}
+	for _, bad := range []string{"", "a:b", "a:b:c", "a:0.5", "a:x:2", "a:0.5:y", "a:0.5:2:extra"} {
+		if _, err := parseKernel(bad); err == nil {
+			t.Errorf("parseKernel(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseKernels(t *testing.T) {
+	ks, err := parseKernels("a:0.1:10, b:0.2:20 ,,c:0.3:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 || ks[1].Name != "b" || ks[2].SpeedUp != 30 {
+		t.Fatalf("parsed %+v", ks)
+	}
+	if _, err := parseKernels("a:0.1:10,broken"); err == nil {
+		t.Fatal("broken list should fail")
+	}
+	if !strings.Contains(err2str(parseKernels("x:nope:3")), "fraction") {
+		t.Fatal("error should mention the fraction")
+	}
+}
+
+func err2str(_ interface{}, err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

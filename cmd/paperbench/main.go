@@ -1,0 +1,167 @@
+// Command paperbench regenerates every quantitative artifact of the
+// paper's evaluation and prints paper-vs-measured comparisons:
+//
+//	paperbench -exp all          # everything (default)
+//	paperbench -exp table1       # Table 1: kernel speed-ups + coverage
+//	paperbench -exp fig6         # Figure 6: kernel times on 4 targets
+//	paperbench -exp fig7         # Figure 7: app speed-ups, 1/10/50 images
+//	paperbench -exp eqns         # §4.2 estimator validation
+//	paperbench -exp profile      # §5.2 profiling reproduction
+//	paperbench -exp naive        # §5.3 pre-optimization speed-ups
+//	paperbench -exp hosts        # §5.2 reference-machine ratios
+//	paperbench -quick            # reduced frames/sets for a fast pass
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cellport/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead")
+	quick := flag.Bool("quick", false, "reduced frame size and image sets")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	seed := flag.Uint64("seed", 20070710, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	out := os.Stdout
+	jsonDoc := map[string]any{}
+
+	run := func(name string, fn func() (any, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if !*asJSON {
+			fmt.Fprintf(out, "==== %s ", name)
+			for i := len(name); i < 68; i++ {
+				fmt.Fprint(out, "=")
+			}
+			fmt.Fprintln(out)
+		}
+		data, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			jsonDoc[name] = data
+		} else {
+			fmt.Fprintln(out)
+		}
+	}
+
+	run("table1", func() (any, error) {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderTable1(out, rows)
+		}
+		return rows, nil
+	})
+	run("naive", func() (any, error) {
+		rows, err := experiments.NaiveSpeedups(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderNaive(out, rows)
+		}
+		return rows, nil
+	})
+	run("fig6", func() (any, error) {
+		rows, err := experiments.Fig6(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderFig6(out, rows)
+		}
+		return rows, nil
+	})
+	run("fig7", func() (any, error) {
+		r, err := experiments.Fig7(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderFig7(out, r)
+		}
+		return r, nil
+	})
+	run("eqns", func() (any, error) {
+		r, err := experiments.Eqns(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderEqns(out, r)
+		}
+		return r, nil
+	})
+	run("profile", func() (any, error) {
+		r, err := experiments.ProfileExp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderProfile(out, r)
+		}
+		return r, nil
+	})
+	run("hosts", func() (any, error) {
+		r, err := experiments.HostsExp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderHosts(out, r)
+		}
+		return r, nil
+	})
+	run("scaling", func() (any, error) {
+		rows, err := experiments.Scaling(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderScaling(out, rows)
+		}
+		return rows, nil
+	})
+	run("pipeline", func() (any, error) {
+		rows, err := experiments.Pipeline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderPipeline(out, rows)
+		}
+		return rows, nil
+	})
+	run("overhead", func() (any, error) {
+		rows, err := experiments.Overhead(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !*asJSON {
+			experiments.RenderOverhead(out, rows)
+		}
+		return rows, nil
+	})
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDoc); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package cellport is a library-scale reproduction of "An Effective
+// Strategy for Porting C++ Applications on Cell" (Varbanescu, Sips, Ross,
+// Liu, Liu, Natsev, Smith — ICPP 2007).
+//
+// It provides, in pure Go with no dependencies beyond the standard
+// library:
+//
+//   - a deterministic simulated Cell Broadband Engine — one PPE and eight
+//     SPEs with enforced 256 KB local stores, MFC DMA queues with the
+//     hardware size/alignment rules, 4-deep mailboxes, signal registers,
+//     and a max-min-fair EIB bandwidth model — executing in virtual time
+//     over a process-oriented discrete-event engine;
+//   - the paper's porting framework: the SPEInterface stub
+//     (Send / SendAndWait / Wait / Close over the mailbox protocol of
+//     §3.5), the SPE-side function-dispatcher template of Listing 1, and
+//     quadword-aligned data wrappers;
+//   - the §4.2 Amdahl estimator (Eqs. 1–3) for sequential and
+//     grouped-parallel kernel schedules;
+//   - a virtual-time profiler with call-graph-based, class-bounded kernel
+//     identification (§3.2);
+//   - the MARVEL case study (§5): four real feature extractors, SVM
+//     concept detection, the sequential reference application and its
+//     Cell port in naive and optimized variants under the three §5.5
+//     scheduling scenarios; and
+//   - an experiment harness regenerating Table 1, Figure 6, Figure 7 and
+//     the in-text numbers, with paper-vs-measured comparisons.
+//
+// This package is the façade over the building blocks in internal/; the
+// bundled case study and experiment harness live in internal/marvel and
+// internal/experiments and are exercised by the cmd/ tools and examples/.
+//
+// Quick start — port a kernel to a simulated SPE:
+//
+//	m := cellport.NewMachine(cellport.DefaultConfig())
+//	m.RunMain("app", func(ctx *cellport.PPEContext) {
+//	    iface, _ := cellport.Open(ctx, 0, cellport.KernelSpec{ ... })
+//	    defer iface.Close()
+//	    w, _ := cellport.NewWrapper(ctx.Memory(),
+//	        cellport.WrapperField{Name: "in", Size: 1024},
+//	        cellport.WrapperField{Name: "out", Size: 1024})
+//	    defer w.Free()
+//	    iface.SendAndWait(1, w.Addr())
+//	})
+package cellport

@@ -1,0 +1,108 @@
+// Scheduling study (Fig. 4 + §4.2): compares the paper's scheduling
+// scenarios on the simulated Cell, prints the Amdahl estimates of
+// Eqs. 1–3 next to measured speed-ups, and renders the actual PPE/SPE
+// schedule as a Gantt chart for each scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cellport"
+	"cellport/internal/cell"
+	"cellport/internal/cost"
+	"cellport/internal/marvel"
+	"cellport/internal/sim"
+	"cellport/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scheduling: ")
+
+	w := marvel.Workload{Images: 1, W: 352, H: 240, Seed: 7}
+	ms, err := marvel.NewModelSet(w.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := marvel.RunReference(cost.NewPPE(), w, ms)
+	cov := ref.KernelCoverage()
+
+	// Run each scenario with a tracer attached.
+	type result struct {
+		res *marvel.PortedResult
+		rec *trace.Recorder
+	}
+	results := map[marvel.Scenario]result{}
+	for _, scen := range []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE, marvel.MultiSPE2} {
+		mcfg := cell.DefaultConfig()
+		mcfg.MemorySize = 64 << 20
+		rec := trace.NewRecorder()
+		mcfg.Tracer = rec
+		res, err := marvel.RunPorted(marvel.PortedConfig{
+			Workload:      w,
+			Scenario:      scen,
+			Variant:       marvel.Optimized,
+			MachineConfig: &mcfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[scen] = result{res, rec}
+	}
+
+	// Amdahl estimates from measured per-kernel data (SingleSPE gives
+	// clean non-overlapping round trips).
+	single := results[marvel.SingleSPE].res
+	var kernels []cellport.EstKernel
+	for _, id := range marvel.KernelIDs {
+		kernels = append(kernels, cellport.EstKernel{
+			Name:     id.String(),
+			Fraction: cov[id],
+			SpeedUp:  ref.KernelTime[id].Seconds() / single.KernelTime[id].Seconds(),
+		})
+	}
+	est2, err := cellport.EstimateSequential(kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var extracts, detects cellport.EstGroup
+	for _, k := range kernels {
+		if k.Name == marvel.KCD.String() {
+			detects = append(detects, k)
+		} else {
+			extracts = append(extracts, k)
+		}
+	}
+	est3, err := cellport.EstimateGrouped([]cellport.EstGroup{extracts, detects})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Amdahl estimates (from measured kernel coverage + speed-ups) vs measured:")
+	fmt.Printf("  %-12s Eq.2 estimate %6.2fx   measured %6.2fx\n",
+		marvel.SingleSPE, est2, ref.PerImage.Seconds()/single.PerImage.Seconds())
+	fmt.Printf("  %-12s Eq.3 estimate %6.2fx   measured %6.2fx\n",
+		marvel.MultiSPE, est3,
+		ref.PerImage.Seconds()/results[marvel.MultiSPE].res.PerImage.Seconds())
+	fmt.Printf("  %-12s               %8s   measured %6.2fx\n",
+		marvel.MultiSPE2, "",
+		ref.PerImage.Seconds()/results[marvel.MultiSPE2].res.PerImage.Seconds())
+
+	fmt.Println("\nworth-it check (§4.2): pushing one kernel from 10x to 100x when it")
+	fmt.Println("covers 10% of the application:")
+	e10, _ := cellport.EstimateSpeedUp1(cellport.EstKernel{Name: "k", Fraction: 0.1, SpeedUp: 10})
+	e100, _ := cellport.EstimateSpeedUp1(cellport.EstKernel{Name: "k", Fraction: 0.1, SpeedUp: 100})
+	fmt.Printf("  Sapp(10x) = %.4f, Sapp(100x) = %.4f — not worth the effort\n", e10, e100)
+
+	for _, scen := range []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE, marvel.MultiSPE2} {
+		fmt.Printf("\nschedule, %s — per-image window, one-time setup clipped\n", scen)
+		fmt.Printf("(C=compute D=dma-wait I=io; PPE lane includes preprocessing):\n")
+		r := results[scen]
+		start := sim.Time(r.res.Total - r.res.PerImage)
+		if err := r.rec.Clip(start, sim.Time(r.res.Total)).Gantt(os.Stdout, 100); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

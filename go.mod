@@ -1,0 +1,3 @@
+module cellport
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package cell assembles the simulated Cell Broadband Engine: one PPE,
+// eight SPEs (configurable), the EIB, and main memory, and provides the
+// PPE-side programming interface the paper's SPEInterface stub builds on
+// (the libspe analogs: loading SPE programs, mailbox access, signals).
+package cell
+
+import (
+	"fmt"
+
+	"cellport/internal/cost"
+	"cellport/internal/eib"
+	"cellport/internal/mainmem"
+	"cellport/internal/mfc"
+	"cellport/internal/sim"
+	"cellport/internal/spe"
+	"cellport/internal/trace"
+)
+
+// Config describes a machine instance.
+type Config struct {
+	NumSPEs    int
+	MemorySize uint32
+	Bus        eib.Config
+	MFC        mfc.Config
+	PPEModel   *cost.Model
+	SPEModel   *cost.Model
+	Tracer     trace.Tracer
+	// MboxAccessCost is PPE time per MMIO mailbox access; mailbox reads
+	// and writes from the PPE cross the bus and are not cheap.
+	MboxAccessCost sim.Duration
+	// PollInterval is the PPE's polling period in SendAndWait-style busy
+	// loops (spe_stat_out_mbox spin).
+	PollInterval sim.Duration
+}
+
+// DefaultConfig returns a standard 8-SPE, 256 MB machine.
+func DefaultConfig() Config {
+	return Config{
+		NumSPEs:        8,
+		MemorySize:     256 << 20,
+		Bus:            eib.DefaultConfig(),
+		MFC:            mfc.DefaultConfig(),
+		PPEModel:       cost.NewPPE(),
+		SPEModel:       cost.NewSPE(),
+		MboxAccessCost: 50 * sim.Nanosecond,
+		PollInterval:   250 * sim.Nanosecond,
+	}
+}
+
+// Machine is a simulated Cell B.E.
+type Machine struct {
+	cfg    Config
+	Engine *sim.Engine
+	Bus    *eib.Bus
+	Memory *mainmem.Memory
+	SPEs   []*spe.SPE
+	tracer trace.Tracer
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) *Machine {
+	if cfg.NumSPEs <= 0 {
+		panic("cell: need at least one SPE")
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Nop{}
+	}
+	e := sim.NewEngine()
+	bus := eib.New(e, cfg.Bus)
+	mem := mainmem.New(cfg.MemorySize)
+	m := &Machine{cfg: cfg, Engine: e, Bus: bus, Memory: mem, tracer: cfg.Tracer}
+	for i := 0; i < cfg.NumSPEs; i++ {
+		m.SPEs = append(m.SPEs, spe.New(e, i, bus, mem, cfg.SPEModel, cfg.MFC, cfg.Tracer))
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SPE returns SPE i.
+func (m *Machine) SPE(i int) *spe.SPE {
+	if i < 0 || i >= len(m.SPEs) {
+		panic(fmt.Sprintf("cell: SPE index %d out of range [0,%d)", i, len(m.SPEs)))
+	}
+	return m.SPEs[i]
+}
+
+// RunMain spawns the PPE main program and runs the simulation to
+// completion. It returns the virtual time consumed by main (from spawn to
+// return) and any simulation error (e.g. a deadlock).
+func (m *Machine) RunMain(name string, body func(ctx *Context)) (sim.Duration, error) {
+	var elapsed sim.Duration
+	m.Engine.Spawn("PPE:"+name, func(p *sim.Proc) {
+		start := p.Now()
+		body(&Context{machine: m, p: p})
+		elapsed = p.Now().Sub(start)
+	})
+	if err := m.Engine.Run(); err != nil {
+		return elapsed, err
+	}
+	return elapsed, nil
+}
+
+// Context is the PPE-side execution environment (main application thread).
+type Context struct {
+	machine *Machine
+	p       *sim.Proc
+	busy    sim.Duration
+}
+
+// Machine returns the hosting machine.
+func (c *Context) Machine() *Machine { return c.machine }
+
+// Now returns the current virtual time.
+func (c *Context) Now() sim.Time { return c.p.Now() }
+
+// Proc exposes the underlying simulated process.
+func (c *Context) Proc() *sim.Proc { return c.p }
+
+// Memory returns main memory (the PPE has direct load/store access).
+func (c *Context) Memory() *mainmem.Memory { return c.machine.Memory }
+
+// Model returns the PPE cost model.
+func (c *Context) Model() *cost.Model { return c.machine.cfg.PPEModel }
+
+// BusyTime reports accumulated PPE compute+IO time for this context.
+func (c *Context) BusyTime() sim.Duration { return c.busy }
+
+func (c *Context) charge(d sim.Duration, kind trace.Kind, label string) {
+	if d <= 0 {
+		return
+	}
+	start := c.p.Now()
+	c.p.Sleep(d)
+	c.busy += d
+	c.machine.tracer.Span("PPE", start, c.p.Now(), kind, label)
+}
+
+// ComputeScalar charges n scalar operations on the PPE.
+func (c *Context) ComputeScalar(n float64, label string) {
+	c.charge(c.machine.cfg.PPEModel.ScalarOps(n), trace.KindCompute, label)
+}
+
+// ComputeSIMD charges n element-ops through the PPE's VMX unit.
+func (c *Context) ComputeSIMD(n float64, w cost.Width, eff float64, label string) {
+	c.charge(c.machine.cfg.PPEModel.SIMDOps(n, w, eff), trace.KindCompute, label)
+}
+
+// ComputeBranches charges branch misprediction stalls.
+func (c *Context) ComputeBranches(n, rate float64, label string) {
+	c.charge(c.machine.cfg.PPEModel.Branches(n, rate), trace.KindCompute, label)
+}
+
+// ComputeCycles charges raw PPE cycles.
+func (c *Context) ComputeCycles(cycles float64, label string) {
+	c.charge(c.machine.cfg.PPEModel.CyclesToDuration(cycles), trace.KindCompute, label)
+}
+
+// DiskRead charges a file read of n bytes (image/model loading).
+func (c *Context) DiskRead(bytes float64, label string) {
+	c.charge(c.machine.cfg.PPEModel.DiskRead(bytes), trace.KindIO, label)
+}
+
+// MemStream charges streaming n bytes through the PPE cache hierarchy.
+func (c *Context) MemStream(bytes float64, label string) {
+	c.charge(c.machine.cfg.PPEModel.MemStream(bytes), trace.KindCompute, label)
+}
+
+// Go spawns an auxiliary PPE thread sharing the machine.
+func (c *Context) Go(name string, body func(ctx *Context)) {
+	c.machine.Engine.Spawn("PPE:"+name, func(p *sim.Proc) {
+		body(&Context{machine: c.machine, p: p})
+	})
+}
+
+// Sleep advances virtual time without charging busy accounting.
+func (c *Context) Sleep(d sim.Duration) { c.p.Sleep(d) }
+
+// --- SPE control (libspe analogs) ---------------------------------------
+
+// LoadSPE loads and starts a program on SPE i (spe_create_thread).
+func (c *Context) LoadSPE(i int, prog spe.Program) error {
+	return c.machine.SPE(i).Load(prog)
+}
+
+// WriteInMbox writes a word into SPE i's inbound mailbox, blocking while
+// full (spe_write_in_mbox).
+func (c *Context) WriteInMbox(i int, v uint32) {
+	c.charge(c.machine.cfg.MboxAccessCost, trace.KindCompute, "mbox-write")
+	c.machine.SPE(i).InMbox.Write(c.p, v)
+}
+
+// StatOutMbox reports queued entries in SPE i's outbound mailbox
+// (spe_stat_out_mbox); each probe costs an MMIO access.
+func (c *Context) StatOutMbox(i int) int {
+	c.charge(c.machine.cfg.MboxAccessCost, trace.KindCompute, "mbox-stat")
+	return c.machine.SPE(i).OutMbox.Count()
+}
+
+// ReadOutMbox pops SPE i's outbound mailbox, blocking until a value is
+// present (read after a successful poll never blocks).
+func (c *Context) ReadOutMbox(i int) uint32 {
+	c.charge(c.machine.cfg.MboxAccessCost, trace.KindCompute, "mbox-read")
+	return c.machine.SPE(i).OutMbox.Read(c.p)
+}
+
+// PollOutMbox spins at the configured poll interval until SPE i's
+// outbound mailbox is non-empty, then reads it — the Listing 3
+// `while(spe_stat_out_mbox(spuid)==0);` loop. The spin is simulated
+// without emitting one event per probe: the context blocks until the
+// mailbox fills and then rounds the detection up to the next poll-interval
+// boundary, which is when the spinning PPE would actually have seen it.
+func (c *Context) PollOutMbox(i int) uint32 {
+	s := c.machine.SPE(i)
+	if c.StatOutMbox(i) == 0 {
+		start := c.p.Now()
+		s.OutMbox.WaitNotEmpty(c.p)
+		if iv := c.machine.cfg.PollInterval; iv > 0 {
+			if rem := c.p.Now().Sub(start) % iv; rem != 0 {
+				c.p.Sleep(iv - rem)
+			}
+		}
+	}
+	return c.ReadOutMbox(i)
+}
+
+// WaitOutIntrMbox blocks on SPE i's interrupting outbound mailbox and
+// reads it (the interrupt-driven completion path).
+func (c *Context) WaitOutIntrMbox(i int) uint32 {
+	s := c.machine.SPE(i)
+	s.OutIntrMbox.WaitNotEmpty(c.p)
+	c.charge(c.machine.cfg.MboxAccessCost, trace.KindCompute, "mbox-intr-read")
+	return s.OutIntrMbox.Read(c.p)
+}
+
+// SendSignal1 writes SPE i's signal-notification register 1.
+func (c *Context) SendSignal1(i int, v uint32) {
+	c.charge(c.machine.cfg.MboxAccessCost, trace.KindCompute, "signal")
+	c.machine.SPE(i).Signal1.Send(v)
+}
+
+// SendSignal2 writes SPE i's signal-notification register 2.
+func (c *Context) SendSignal2(i int, v uint32) {
+	c.charge(c.machine.cfg.MboxAccessCost, trace.KindCompute, "signal")
+	c.machine.SPE(i).Signal2.Send(v)
+}
+
+// WaitSPE blocks until SPE i's program returns.
+func (c *Context) WaitSPE(i int) { c.machine.SPE(i).WaitStopped(c.p) }
+
+// PollOutMboxTimeout is PollOutMbox bounded by a virtual-time deadline;
+// ok reports whether a value arrived before the timeout.
+func (c *Context) PollOutMboxTimeout(i int, timeout sim.Duration) (v uint32, ok bool) {
+	s := c.machine.SPE(i)
+	if c.StatOutMbox(i) == 0 {
+		start := c.p.Now()
+		if !s.OutMbox.WaitNotEmptyTimeout(c.p, timeout) {
+			return 0, false
+		}
+		if iv := c.machine.cfg.PollInterval; iv > 0 {
+			if rem := c.p.Now().Sub(start) % iv; rem != 0 {
+				c.p.Sleep(iv - rem)
+			}
+		}
+	}
+	return c.ReadOutMbox(i), true
+}
+
+// WaitOutIntrMboxTimeout is WaitOutIntrMbox bounded by a deadline.
+func (c *Context) WaitOutIntrMboxTimeout(i int, timeout sim.Duration) (v uint32, ok bool) {
+	s := c.machine.SPE(i)
+	if !s.OutIntrMbox.WaitNotEmptyTimeout(c.p, timeout) {
+		return 0, false
+	}
+	c.charge(c.machine.cfg.MboxAccessCost, trace.KindCompute, "mbox-intr-read")
+	return s.OutIntrMbox.Read(c.p), true
+}

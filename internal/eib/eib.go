@@ -1,0 +1,275 @@
+// Package eib models the Cell's Element Interconnect Bus as a fluid
+// (progressive-filling) bandwidth-sharing network. Each bus element — the
+// PPE, the eight SPEs, the memory interface controller and the I/O
+// interface — owns a port with 25.6 GB/s of bandwidth in each direction,
+// and the ring fabric itself sustains an aggregate of 204.8 GB/s (§2,
+// [12]). A transfer consumes bandwidth on its source port, its destination
+// port, and the shared fabric; concurrent transfers receive the max-min
+// fair allocation over those capacities.
+//
+// The fluid model is event-driven: whenever a transfer starts or finishes,
+// remaining byte counts are advanced at the old rates, rates are
+// recomputed, and the next completion is rescheduled. Byte conservation
+// and capacity respect are property-tested.
+package eib
+
+import (
+	"fmt"
+	"math"
+
+	"cellport/internal/sim"
+)
+
+// Port identifies a bus element.
+type Port int
+
+// Bus element ports. SPE ports are SPE0 + i.
+const (
+	PortPPE Port = iota
+	PortMemory
+	PortIO
+	PortSPE0 // SPE n is PortSPE0 + n
+)
+
+// SPEPort returns the port of SPE n.
+func SPEPort(n int) Port { return PortSPE0 + Port(n) }
+
+func (p Port) String() string {
+	switch p {
+	case PortPPE:
+		return "PPE"
+	case PortMemory:
+		return "MEM"
+	case PortIO:
+		return "IO"
+	default:
+		return fmt.Sprintf("SPE%d", int(p-PortSPE0))
+	}
+}
+
+// Config sets the bus capacities in bytes per second.
+type Config struct {
+	PortBandwidth  float64 // per-port, per-direction
+	TotalBandwidth float64 // fabric aggregate
+}
+
+// DefaultConfig returns the published Cell B.E. capacities.
+func DefaultConfig() Config {
+	return Config{PortBandwidth: 25.6e9, TotalBandwidth: 204.8e9}
+}
+
+// Bus is the shared interconnect. All methods must be called from within
+// the owning simulation (engine callbacks or processes).
+type Bus struct {
+	engine *sim.Engine
+	cfg    Config
+
+	active     map[*Transfer]struct{}
+	lastUpdate sim.Time
+
+	// Stats
+	bytesMoved float64
+	transfers  uint64
+}
+
+// Transfer is one in-flight bulk data movement.
+type Transfer struct {
+	src, dst  Port
+	remaining float64
+	rate      float64 // bytes/s under the current allocation
+	done      *sim.Queue
+	finished  bool
+	timer     *sim.Timer
+	bus       *Bus
+	onDone    func()
+}
+
+// New creates a bus on the given engine.
+func New(e *sim.Engine, cfg Config) *Bus {
+	if cfg.PortBandwidth <= 0 || cfg.TotalBandwidth <= 0 {
+		panic("eib: non-positive bandwidth")
+	}
+	return &Bus{engine: e, cfg: cfg, active: make(map[*Transfer]struct{})}
+}
+
+// Start begins moving size bytes from src to dst and returns the transfer
+// handle. onDone, if non-nil, runs at completion time (before waiters are
+// woken). Zero-size transfers complete immediately.
+func (b *Bus) Start(src, dst Port, size int64, onDone func()) *Transfer {
+	t := &Transfer{
+		src: src, dst: dst,
+		remaining: float64(size),
+		done:      sim.NewQueue(fmt.Sprintf("eib %v->%v", src, dst)),
+		bus:       b,
+		onDone:    onDone,
+	}
+	b.transfers++
+	if size <= 0 {
+		t.complete()
+		return t
+	}
+	b.advance()
+	b.active[t] = struct{}{}
+	b.reallocate()
+	return t
+}
+
+// Wait blocks p until the transfer completes.
+func (t *Transfer) Wait(p *sim.Proc) {
+	p.WaitFor(t.done, func() bool { return t.finished })
+}
+
+// Done reports whether the transfer has completed.
+func (t *Transfer) Done() bool { return t.finished }
+
+func (t *Transfer) complete() {
+	t.finished = true
+	if t.onDone != nil {
+		t.onDone()
+	}
+	t.done.WakeAll(t.bus.engine)
+}
+
+// advance applies the current rates over the time elapsed since the last
+// recomputation.
+func (b *Bus) advance() {
+	now := b.engine.Now()
+	dt := now.Sub(b.lastUpdate).Seconds()
+	b.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for t := range b.active {
+		moved := t.rate * dt
+		if moved > t.remaining {
+			moved = t.remaining
+		}
+		t.remaining -= moved
+		b.bytesMoved += moved
+	}
+}
+
+// reallocate computes the max-min fair rate for every active transfer and
+// reschedules completion timers.
+func (b *Bus) reallocate() {
+	if len(b.active) == 0 {
+		return
+	}
+	// Water-filling over the constraining resources: each port (a transfer
+	// loads both endpoints; a loop-back transfer loads its port once) and
+	// the fabric aggregate.
+	type resource struct {
+		cap   float64
+		flows []*Transfer
+	}
+	res := map[string]*resource{}
+	addFlow := func(key string, cap float64, t *Transfer) {
+		r := res[key]
+		if r == nil {
+			r = &resource{cap: cap}
+			res[key] = r
+		}
+		r.flows = append(r.flows, t)
+	}
+	for t := range b.active {
+		addFlow(t.src.String(), b.cfg.PortBandwidth, t)
+		if t.dst != t.src {
+			addFlow(t.dst.String(), b.cfg.PortBandwidth, t)
+		}
+		addFlow("fabric", b.cfg.TotalBandwidth, t)
+	}
+	unassigned := make(map[*Transfer]bool, len(b.active))
+	for t := range b.active {
+		unassigned[t] = true
+		t.rate = 0
+	}
+	for len(unassigned) > 0 {
+		// Find the most constrained resource among those with unassigned flows.
+		var tight *resource
+		share := math.Inf(1)
+		for _, r := range res {
+			n := 0
+			for _, f := range r.flows {
+				if unassigned[f] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			s := r.cap / float64(n)
+			if s < share {
+				share = s
+				tight = r
+			}
+		}
+		if tight == nil {
+			break
+		}
+		// Freeze the tight resource's unassigned flows at the fair share and
+		// charge every resource they traverse.
+		var frozen []*Transfer
+		for _, f := range tight.flows {
+			if unassigned[f] {
+				frozen = append(frozen, f)
+			}
+		}
+		for _, f := range frozen {
+			f.rate = share
+			delete(unassigned, f)
+		}
+		for _, r := range res {
+			for _, f := range r.flows {
+				for _, fr := range frozen {
+					if f == fr {
+						r.cap -= share
+					}
+				}
+			}
+			if r.cap < 0 {
+				r.cap = 0
+			}
+		}
+	}
+	// Reschedule completions under the new rates.
+	for t := range b.active {
+		t.reschedule()
+	}
+}
+
+func (t *Transfer) reschedule() {
+	b := t.bus
+	if t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
+	if t.rate <= 0 {
+		return // starved; will be rescheduled at the next reallocation
+	}
+	eta := b.engine.Now().Add(sim.FromSeconds(t.remaining / t.rate))
+	t.timer = b.engine.Schedule(eta, func() {
+		b.advance()
+		// Guard against float residue: treat sub-byte remainders as done.
+		if t.remaining > 0.5 {
+			t.reschedule()
+			return
+		}
+		b.bytesMoved += t.remaining
+		t.remaining = 0
+		delete(b.active, t)
+		t.complete()
+		b.reallocate()
+	})
+}
+
+// ActiveTransfers reports the number of in-flight transfers.
+func (b *Bus) ActiveTransfers() int { return len(b.active) }
+
+// BytesMoved reports total bytes delivered so far.
+func (b *Bus) BytesMoved() float64 { return b.bytesMoved }
+
+// Transfers reports the cumulative number of transfers started.
+func (b *Bus) Transfers() uint64 { return b.transfers }
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }

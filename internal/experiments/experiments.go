@@ -1,0 +1,240 @@
+// Package experiments regenerates every quantitative artifact of the
+// paper's evaluation (§4.2 worked examples, §5.2 profile, §5.3 naive
+// ports, Table 1, Figure 6, Figure 7) from the simulated machine and the
+// MARVEL port, and renders paper-vs-measured comparisons.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cellport/internal/cell"
+	"cellport/internal/cost"
+	"cellport/internal/marvel"
+	"cellport/internal/sim"
+)
+
+// Config sizes the experiment runs.
+type Config struct {
+	// Quick shrinks frames and image sets for fast test runs; the full
+	// configuration uses the paper's 352×240 frames and 1/10/50 sets.
+	Quick bool
+	Seed  uint64
+}
+
+// DefaultConfig is the paper-faithful configuration.
+func DefaultConfig() Config { return Config{Seed: 20070710} }
+
+func (c Config) workload(n int) marvel.Workload {
+	if c.Quick {
+		return marvel.Workload{Images: n, W: 352, H: 96, Seed: c.Seed}
+	}
+	return marvel.Workload{Images: n, W: 352, H: 240, Seed: c.Seed}
+}
+
+func (c Config) setSizes() []int {
+	if c.Quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 10, 50}
+}
+
+// machineConfig returns a machine sized for the experiments.
+func machineConfig() *cell.Config {
+	cfg := cell.DefaultConfig()
+	cfg.MemorySize = 64 << 20
+	return &cfg
+}
+
+// PaperTable1 holds the published Table 1 values.
+var PaperTable1 = map[marvel.KernelID]struct {
+	SpeedUp  float64
+	Coverage float64
+}{
+	marvel.KCH: {53.67, 0.08},
+	marvel.KCC: {52.23, 0.54},
+	marvel.KTX: {15.99, 0.06},
+	marvel.KEH: {65.94, 0.28},
+	marvel.KCD: {10.80, 0.02},
+}
+
+// PaperNaive holds the §5.3 pre-optimization speed-ups (only three were
+// measured).
+var PaperNaive = map[marvel.KernelID]float64{
+	marvel.KCH: 26.41,
+	marvel.KCC: 0.43,
+	marvel.KEH: 3.85,
+}
+
+// Table1Row is one row of the regenerated Table 1.
+type Table1Row struct {
+	Kernel        marvel.KernelID
+	PPETime       sim.Duration
+	SPETime       sim.Duration
+	SpeedUp       float64
+	Coverage      float64
+	PaperSpeedUp  float64
+	PaperCoverage float64
+}
+
+// kernelRoundTrips measures per-kernel PPE and SPE times for one variant:
+// the reference run gives PPE kernel times; a SingleSPE ported run gives
+// non-overlapping SPE round-trip times.
+func kernelRoundTrips(cfg Config, v marvel.Variant) (*marvel.ReferenceResult, *marvel.PortedResult, error) {
+	w := cfg.workload(1)
+	ms, err := marvel.NewModelSet(w.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ref := marvel.RunReference(cost.NewPPE(), w, ms)
+	ported, err := marvel.RunPorted(marvel.PortedConfig{
+		Workload:      w,
+		Scenario:      marvel.SingleSPE,
+		Variant:       v,
+		MachineConfig: machineConfig(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ref, ported, nil
+}
+
+// Table1 regenerates Table 1: optimized SPE-vs-PPE kernel speed-ups with
+// per-kernel coverage.
+func Table1(cfg Config) ([]Table1Row, error) {
+	ref, ported, err := kernelRoundTrips(cfg, marvel.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	cov := ref.KernelCoverage()
+	var rows []Table1Row
+	for _, id := range marvel.KernelIDs {
+		p := PaperTable1[id]
+		rows = append(rows, Table1Row{
+			Kernel:        id,
+			PPETime:       ref.KernelTime[id],
+			SPETime:       ported.KernelTime[id],
+			SpeedUp:       ref.KernelTime[id].Seconds() / ported.KernelTime[id].Seconds(),
+			Coverage:      cov[id],
+			PaperSpeedUp:  p.SpeedUp,
+			PaperCoverage: p.Coverage,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the comparison table.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1 — SPE vs PPE kernel speed-ups (optimized kernels)\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %9s %9s %10s %10s\n",
+		"Kernel", "PPE time", "SPE time", "Speed-up", "(paper)", "Coverage", "(paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12s %12s %9.2f %9.2f %9.1f%% %9.0f%%\n",
+			r.Kernel, r.PPETime, r.SPETime, r.SpeedUp, r.PaperSpeedUp,
+			r.Coverage*100, r.PaperCoverage*100)
+	}
+}
+
+// NaiveRow is one §5.3 pre-optimization measurement.
+type NaiveRow struct {
+	Kernel       marvel.KernelID
+	SpeedUp      float64
+	PaperSpeedUp float64 // 0 when the paper did not measure it
+}
+
+// NaiveSpeedups regenerates the §5.3 before-optimization numbers.
+func NaiveSpeedups(cfg Config) ([]NaiveRow, error) {
+	ref, ported, err := kernelRoundTrips(cfg, marvel.Naive)
+	if err != nil {
+		return nil, err
+	}
+	var rows []NaiveRow
+	for _, id := range marvel.KernelIDs {
+		rows = append(rows, NaiveRow{
+			Kernel:       id,
+			SpeedUp:      ref.KernelTime[id].Seconds() / ported.KernelTime[id].Seconds(),
+			PaperSpeedUp: PaperNaive[id],
+		})
+	}
+	return rows, nil
+}
+
+// RenderNaive prints the naive-port comparison.
+func RenderNaive(w io.Writer, rows []NaiveRow) {
+	fmt.Fprintf(w, "§5.3 — kernel speed-ups before SPE-specific optimization\n")
+	fmt.Fprintf(w, "%-12s %9s %9s\n", "Kernel", "Speed-up", "(paper)")
+	for _, r := range rows {
+		paper := "n/a"
+		if r.PaperSpeedUp > 0 {
+			paper = fmt.Sprintf("%9.2f", r.PaperSpeedUp)
+		}
+		fmt.Fprintf(w, "%-12s %9.2f %9s\n", r.Kernel, r.SpeedUp, paper)
+	}
+}
+
+// Fig6Row holds one kernel's execution time on the four targets.
+type Fig6Row struct {
+	Kernel                     marvel.KernelID
+	Laptop, Desktop, PPE, SPE  sim.Duration
+	LaptopS, DesktopS, SPEvPPE float64 // speed ratios vs PPE for the log plot
+}
+
+// Fig6 regenerates Figure 6: per-kernel execution times on the Laptop,
+// the Desktop, the PPE and the (optimized) SPE, log scale.
+func Fig6(cfg Config) ([]Fig6Row, error) {
+	w := cfg.workload(1)
+	ms, err := marvel.NewModelSet(w.Seed)
+	if err != nil {
+		return nil, err
+	}
+	lap := marvel.RunReference(cost.NewLaptop(), w, ms)
+	desk := marvel.RunReference(cost.NewDesktop(), w, ms)
+	ref, ported, err := kernelRoundTrips(cfg, marvel.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for _, id := range marvel.KernelIDs {
+		r := Fig6Row{
+			Kernel:  id,
+			Laptop:  lap.KernelTime[id],
+			Desktop: desk.KernelTime[id],
+			PPE:     ref.KernelTime[id],
+			SPE:     ported.KernelTime[id],
+		}
+		r.LaptopS = r.PPE.Seconds() / r.Laptop.Seconds()
+		r.DesktopS = r.PPE.Seconds() / r.Desktop.Seconds()
+		r.SPEvPPE = r.PPE.Seconds() / r.SPE.Seconds()
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// RenderFig6 prints the series with a log-scale ASCII bar per target.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintf(w, "Figure 6 — kernel execution times (log scale)\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n", "Kernel", "Laptop", "Desktop", "PPE", "SPE")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n", r.Kernel, r.Laptop, r.Desktop, r.PPE, r.SPE)
+	}
+	fmt.Fprintln(w, "\nlog-scale bars (each █ is ×2 above 1µs):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s\n", r.Kernel)
+		for _, t := range []struct {
+			name string
+			d    sim.Duration
+		}{{"Laptop", r.Laptop}, {"Desktop", r.Desktop}, {"PPE", r.PPE}, {"SPE", r.SPE}} {
+			fmt.Fprintf(w, "  %-8s |%s %s\n", t.name, logBar(t.d), t.d)
+		}
+	}
+}
+
+func logBar(d sim.Duration) string {
+	us := d.Microseconds()
+	n := 0
+	for v := us; v > 1 && n < 60; v /= 2 {
+		n++
+	}
+	return strings.Repeat("█", n)
+}

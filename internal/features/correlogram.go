@@ -1,0 +1,91 @@
+package features
+
+import "cellport/internal/img"
+
+// Correlogram geometry (§5.2: "a square window of size 17x17 around P").
+const (
+	CorrWindow = 17
+	CorrRadius = CorrWindow / 2 // halo rows required per side
+)
+
+// CorrAcc accumulates color-autocorrelogram statistics across row bands.
+// For every pixel P of quantized color c, Same[c] counts the neighbours
+// inside P's (clamped) 17×17 window sharing c, and Total[c] counts all
+// neighbours considered — so the finalized feature is the per-color
+// clustering probability ([10]).
+type CorrAcc struct {
+	Same  [HistBins]uint64
+	Total [HistBins]uint64
+}
+
+// AccumulateCorrelogram processes payload rows [py0, py1) of band, a
+// sub-image that already includes any halo rows (up to CorrRadius above
+// and below the payload). Windows are clamped to the band: for interior
+// bands the halo guarantees the window never reaches the band edge, and
+// for bands at the image boundary the band edge *is* the image boundary —
+// the §3.4 border-condition rule.
+func (a *CorrAcc) AccumulateCorrelogram(band *img.RGB, py0, py1 int) {
+	w, h := band.W, band.H
+	bins := make([]int32, w*h)
+	img.QuantizeRows(band, 0, h, bins)
+	for y := py0; y < py1; y++ {
+		yLo, yHi := y-CorrRadius, y+CorrRadius
+		if yLo < 0 {
+			yLo = 0
+		}
+		if yHi > h-1 {
+			yHi = h - 1
+		}
+		for x := 0; x < w; x++ {
+			c := bins[y*w+x]
+			xLo, xHi := x-CorrRadius, x+CorrRadius
+			if xLo < 0 {
+				xLo = 0
+			}
+			if xHi > w-1 {
+				xHi = w - 1
+			}
+			same := uint64(0)
+			for wy := yLo; wy <= yHi; wy++ {
+				row := bins[wy*w:]
+				for wx := xLo; wx <= xHi; wx++ {
+					if row[wx] == c {
+						same++
+					}
+				}
+			}
+			// Exclude P itself from both numerator and denominator.
+			a.Same[c] += same - 1
+			a.Total[c] += uint64((yHi-yLo+1)*(xHi-xLo+1) - 1)
+		}
+	}
+}
+
+// Finalize returns the 166-dimensional autocorrelogram: for each color,
+// the probability that a window neighbour of a pixel of that color shares
+// it (zero for colors absent from the image).
+func (a *CorrAcc) Finalize() []float32 {
+	out := make([]float32, HistBins)
+	for c := 0; c < HistBins; c++ {
+		if a.Total[c] > 0 {
+			out[c] = float32(float64(a.Same[c]) / float64(a.Total[c]))
+		}
+	}
+	return out
+}
+
+// ColorCorrelogram computes the whole-image reference autocorrelogram.
+func ColorCorrelogram(im *img.RGB) []float32 {
+	var acc CorrAcc
+	acc.AccumulateCorrelogram(im, 0, im.H)
+	return acc.Finalize()
+}
+
+// Nominal per-pixel operation counts: quantization plus one
+// compare-accumulate per window position. The window walk is byte-wide
+// and branch-light when vectorized (compare + sum across 16 lanes), which
+// is why the optimized SPE version SIMDizes so well.
+const (
+	CorrOpsPerPixel      = 38.0 + 2.0*CorrWindow*CorrWindow
+	CorrBranchesPerPixel = 7.0 + CorrWindow // one loop branch per window row
+)

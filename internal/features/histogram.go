@@ -1,0 +1,40 @@
+package features
+
+import "cellport/internal/img"
+
+// HistAcc accumulates color-histogram counts across row bands.
+type HistAcc struct {
+	Counts [HistBins]uint64
+	Pixels uint64
+}
+
+// AccumulateHistogram adds rows [y0, y1) of im to the accumulator. The
+// color histogram is pointwise, so bands need no halo.
+func (a *HistAcc) AccumulateHistogram(im *img.RGB, y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		row := im.Pix[y*im.Stride:]
+		for x := 0; x < im.W; x++ {
+			bin := img.QuantizeHSV166(row[3*x], row[3*x+1], row[3*x+2])
+			a.Counts[bin]++
+		}
+		a.Pixels += uint64(im.W)
+	}
+}
+
+// Finalize returns the normalized 166-bin histogram.
+func (a *HistAcc) Finalize() []float32 { return normalize(a.Counts[:]) }
+
+// ColorHistogram computes the whole-image reference histogram [18]: the
+// image's colors are quantized into the 166-bin HSV space and counted.
+func ColorHistogram(im *img.RGB) []float32 {
+	var acc HistAcc
+	acc.AccumulateHistogram(im, 0, im.H)
+	return acc.Finalize()
+}
+
+// Nominal per-pixel operation counts for the histogram kernel (integer
+// HSV conversion, quantization, counter update). Used by the cost models.
+const (
+	HistOpsPerPixel      = 38.0
+	HistBranchesPerPixel = 7.0
+)

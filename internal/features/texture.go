@@ -1,0 +1,137 @@
+package features
+
+import "cellport/internal/img"
+
+// Texture geometry: the image is processed in 32×32 tiles (replicating
+// edge pixels for partial tiles), each decomposed by a 3-level 2-D Haar
+// transform; the feature is the distribution of absolute coefficient
+// energy across the spatial-frequency subbands ([14], §5.2): for each
+// level the HL, LH and HH detail bands, plus the final approximation.
+const (
+	TexTile   = 32
+	texLevels = 3
+)
+
+// TexAcc accumulates subband energies across row bands. Tiling is
+// anchored at the image origin, so bands must start at multiples of
+// TexTile rows (PlanSlices' granularity argument) for band-wise
+// accumulation to equal the whole-image computation.
+type TexAcc struct {
+	Energy [TexBins]uint64
+	Pixels uint64
+}
+
+// AccumulateTexture processes payload rows [py0, py1) of band (no halo
+// needed; py0 must be tile-aligned relative to the image unless it is 0).
+func (a *TexAcc) AccumulateTexture(band *img.RGB, py0, py1 int) {
+	w := band.W
+	gray := band.Gray()
+	var tile [TexTile][TexTile]int32
+	for ty := py0; ty < py1; ty += TexTile {
+		for tx := 0; tx < w; tx += TexTile {
+			// Load tile with edge replication (within the payload rows:
+			// vertical replication only happens at the true image bottom,
+			// where the band ends).
+			for y := 0; y < TexTile; y++ {
+				sy := ty + y
+				if sy > py1-1 {
+					sy = py1 - 1
+				}
+				row := gray[sy*w:]
+				for x := 0; x < TexTile; x++ {
+					sx := tx + x
+					if sx > w-1 {
+						sx = w - 1
+					}
+					tile[y][x] = int32(row[sx])
+				}
+			}
+			a.haarTile(&tile)
+			a.Pixels += TexTile * TexTile
+		}
+	}
+}
+
+// haarTile runs the 3-level 2-D Haar decomposition in place and
+// accumulates |coefficient| sums per subband.
+func (a *TexAcc) haarTile(t *[TexTile][TexTile]int32) {
+	size := TexTile
+	var tmp [TexTile]int32
+	for level := 0; level < texLevels; level++ {
+		half := size / 2
+		// Row pass on the current LL region.
+		for y := 0; y < size; y++ {
+			for x := 0; x < half; x++ {
+				p, q := t[y][2*x], t[y][2*x+1]
+				tmp[x] = (p + q) >> 1 // approximation
+				tmp[half+x] = p - q   // detail
+			}
+			copy(t[y][:size], tmp[:size])
+		}
+		// Column pass.
+		for x := 0; x < size; x++ {
+			for y := 0; y < half; y++ {
+				p, q := t[2*y][x], t[2*y+1][x]
+				tmp[y] = (p + q) >> 1
+				tmp[half+y] = p - q
+			}
+			for y := 0; y < size; y++ {
+				t[y][x] = tmp[y]
+			}
+		}
+		// Accumulate detail-band energies: HL (high x, low y), LH, HH.
+		var hl, lh, hh uint64
+		for y := 0; y < half; y++ {
+			for x := half; x < size; x++ {
+				hl += absU(t[y][x])
+			}
+		}
+		for y := half; y < size; y++ {
+			for x := 0; x < half; x++ {
+				lh += absU(t[y][x])
+			}
+			for x := half; x < size; x++ {
+				hh += absU(t[y][x])
+			}
+		}
+		a.Energy[level*3+0] += hl
+		a.Energy[level*3+1] += lh
+		a.Energy[level*3+2] += hh
+		size = half
+	}
+	// Final approximation band (size×size LL).
+	var ll uint64
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			ll += absU(t[y][x])
+		}
+	}
+	a.Energy[9] += ll
+}
+
+func absU(v int32) uint64 {
+	if v < 0 {
+		v = -v
+	}
+	return uint64(v)
+}
+
+// Finalize returns the 10-dimensional relative subband-energy vector.
+func (a *TexAcc) Finalize() []float32 { return normalize(a.Energy[:]) }
+
+// Texture computes the whole-image reference texture feature.
+func Texture(im *img.RGB) []float32 {
+	var acc TexAcc
+	acc.AccumulateTexture(im, 0, im.H)
+	return acc.Finalize()
+}
+
+// Nominal per-pixel operation counts (gray conversion, ~2.7 passes of the
+// Haar butterfly per pixel across levels, energy accumulation). The
+// transform's strided column accesses and short rows limit SIMD benefit —
+// the structural reason TXExtract shows the weakest SPE speed-up in
+// Table 1.
+const (
+	TexOpsPerPixel      = 5.0 + 11.0 + 2.0
+	TexBranchesPerPixel = 4.0
+)

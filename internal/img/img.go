@@ -1,0 +1,99 @@
+// Package img provides the image substrate for the MARVEL case study:
+// interleaved RGB images with DMA-friendly row strides, the Smith–Chang
+// style 166-bin HSV color quantization MARVEL's color features use
+// ([18], §5.2), grayscale conversion, row slicing with halos for SPE
+// processing (§3.4), and a deterministic synthetic image generator that
+// replaces the paper's news-video image corpus.
+package img
+
+import "fmt"
+
+// RGB is an 8-bit interleaved RGB image. Pix holds H rows of Stride bytes;
+// a row's pixels occupy its first 3*W bytes. Stride is quadword-aligned so
+// whole rows are DMA-able.
+type RGB struct {
+	W, H   int
+	Stride int
+	Pix    []byte
+}
+
+// StrideFor returns the quadword-aligned byte stride for a row of w RGB
+// pixels.
+func StrideFor(w int) int { return (3*w + 15) &^ 15 }
+
+// New allocates a w×h image with aligned stride.
+func New(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	s := StrideFor(w)
+	return &RGB{W: w, H: h, Stride: s, Pix: make([]byte, s*h)}
+}
+
+// Wrap views an existing byte buffer (e.g. an SPE local-store slice) as an
+// image without copying. The buffer must hold h*stride bytes.
+func Wrap(pix []byte, w, h, stride int) *RGB {
+	if stride < 3*w {
+		panic(fmt.Sprintf("img: stride %d < 3*%d", stride, w))
+	}
+	if len(pix) < h*stride {
+		panic(fmt.Sprintf("img: buffer %d B < %d rows × %d B", len(pix), h, stride))
+	}
+	return &RGB{W: w, H: h, Stride: stride, Pix: pix}
+}
+
+// At returns the pixel at (x, y).
+func (im *RGB) At(x, y int) (r, g, b byte) {
+	i := y*im.Stride + 3*x
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set stores the pixel at (x, y).
+func (im *RGB) Set(x, y int, r, g, b byte) {
+	i := y*im.Stride + 3*x
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// Row returns the packed pixel bytes of row y (3*W bytes).
+func (im *RGB) Row(y int) []byte {
+	off := y * im.Stride
+	return im.Pix[off : off+3*im.W]
+}
+
+// Rows returns a zero-copy sub-image of rows [y0, y1).
+func (im *RGB) Rows(y0, y1 int) *RGB {
+	if y0 < 0 || y1 > im.H || y0 >= y1 {
+		panic(fmt.Sprintf("img: bad row range [%d,%d) of %d", y0, y1, im.H))
+	}
+	return &RGB{W: im.W, H: y1 - y0, Stride: im.Stride, Pix: im.Pix[y0*im.Stride : y1*im.Stride]}
+}
+
+// Bytes returns the total backing size in bytes.
+func (im *RGB) Bytes() int { return im.H * im.Stride }
+
+// Clone deep-copies the image.
+func (im *RGB) Clone() *RGB {
+	out := &RGB{W: im.W, H: im.H, Stride: im.Stride, Pix: make([]byte, len(im.Pix))}
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Gray converts to 8-bit luma with the integer BT.601 weights
+// (77R + 150G + 29B) >> 8, returning one row of w bytes per image row
+// (stride w).
+func (im *RGB) Gray() []byte {
+	out := make([]byte, im.W*im.H)
+	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*im.Stride:]
+		for x := 0; x < im.W; x++ {
+			r, g, b := int(row[3*x]), int(row[3*x+1]), int(row[3*x+2])
+			out[y*im.W+x] = byte((77*r + 150*g + 29*b) >> 8)
+		}
+	}
+	return out
+}
+
+// GrayAt computes the luma of a single pixel with the same weights.
+func GrayAt(r, g, b byte) byte {
+	return byte((77*int(r) + 150*int(g) + 29*int(b)) >> 8)
+}

@@ -1,0 +1,228 @@
+package img
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrideAlignment(t *testing.T) {
+	for _, w := range []int{1, 5, 16, 352, 1600} {
+		s := StrideFor(w)
+		if s%16 != 0 || s < 3*w {
+			t.Errorf("StrideFor(%d) = %d", w, s)
+		}
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	im := New(7, 5)
+	im.Set(6, 4, 1, 2, 3)
+	r, g, b := im.At(6, 4)
+	if r != 1 || g != 2 || b != 3 {
+		t.Fatalf("At = %d,%d,%d", r, g, b)
+	}
+}
+
+func TestRowsSubImageSharesBacking(t *testing.T) {
+	im := New(8, 8)
+	sub := im.Rows(2, 5)
+	if sub.H != 3 || sub.W != 8 {
+		t.Fatalf("sub dims %dx%d", sub.W, sub.H)
+	}
+	sub.Set(0, 0, 9, 9, 9)
+	if r, _, _ := im.At(0, 2); r != 9 {
+		t.Fatal("sub-image writes must alias parent")
+	}
+}
+
+func TestWrapValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer should panic")
+		}
+	}()
+	Wrap(make([]byte, 10), 4, 4, StrideFor(4))
+}
+
+func TestGrayMatchesGrayAt(t *testing.T) {
+	im := Synthesize(3, 33, 17)
+	g := im.Gray()
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, gg, b := im.At(x, y)
+			if g[y*im.W+x] != GrayAt(r, gg, b) {
+				t.Fatalf("gray mismatch at %d,%d", x, y)
+			}
+		}
+	}
+}
+
+func TestHSVKnownColors(t *testing.T) {
+	cases := []struct {
+		r, g, b byte
+		h       int
+		s, v    byte
+	}{
+		{255, 0, 0, 0, 255, 255},
+		{0, 255, 0, 120, 255, 255},
+		{0, 0, 255, 240, 255, 255},
+		{0, 0, 0, 0, 0, 0},
+		{255, 255, 255, 0, 0, 255},
+		{128, 128, 128, 0, 0, 128},
+	}
+	for _, c := range cases {
+		h, s, v := RGBToHSV(c.r, c.g, c.b)
+		if h != c.h || s != c.s || v != c.v {
+			t.Errorf("HSV(%d,%d,%d) = %d,%d,%d want %d,%d,%d", c.r, c.g, c.b, h, s, v, c.h, c.s, c.v)
+		}
+	}
+}
+
+func TestQuantizeBinsInRange(t *testing.T) {
+	f := func(r, g, b byte) bool {
+		bin := QuantizeHSV166(r, g, b)
+		return bin >= 0 && bin < HistBins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeGraysAreAchromatic(t *testing.T) {
+	for _, v := range []byte{0, 60, 130, 255} {
+		bin := QuantizeHSV166(v, v, v)
+		if bin < 162 {
+			t.Errorf("gray %d fell in chromatic bin %d", v, bin)
+		}
+	}
+	if QuantizeHSV166(255, 0, 0) >= 162 {
+		t.Error("saturated red should be chromatic")
+	}
+	// Darker value must never land in a higher gray bin than brighter.
+	if QuantizeHSV166(10, 10, 10) > QuantizeHSV166(250, 250, 250) {
+		t.Error("gray ordering broken")
+	}
+}
+
+func TestQuantizeRowsMatchesPixelwise(t *testing.T) {
+	im := Synthesize(7, 40, 30)
+	dst := make([]int32, im.W*im.H)
+	QuantizeRows(im, 0, im.H, dst)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			if dst[y*im.W+x] != int32(QuantizeHSV166(r, g, b)) {
+				t.Fatalf("QuantizeRows mismatch at %d,%d", x, y)
+			}
+		}
+	}
+}
+
+func TestPlanSlicesCoverExactly(t *testing.T) {
+	f := func(hRaw, maxRaw, haloRaw, granRaw uint8) bool {
+		h := int(hRaw)%500 + 1
+		maxRows := int(maxRaw)%120 + 3
+		halo := int(haloRaw) % 10
+		gran := int(granRaw)%8 + 1
+		slices, err := PlanSlices(h, maxRows, halo, gran)
+		if err != nil {
+			return maxRows-2*halo < gran // only legitimate failure
+		}
+		y := 0
+		for i, s := range slices {
+			if s.Y0 != y || s.Y1 <= s.Y0 {
+				return false
+			}
+			if s.TransferRows() > maxRows {
+				return false
+			}
+			if s.TransferY0() < 0 || s.TransferY1() > h {
+				return false
+			}
+			// Interior slices carry full halos.
+			if s.Y0 >= halo && s.HaloTop != halo {
+				return false
+			}
+			if s.Y1+halo <= h && s.HaloBottom != halo {
+				return false
+			}
+			// All but the last payload are granularity multiples.
+			if i < len(slices)-1 && s.PayloadRows()%gran != 0 {
+				return false
+			}
+			y = s.Y1
+		}
+		return y == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSlicesErrors(t *testing.T) {
+	if _, err := PlanSlices(0, 100, 0, 1); err == nil {
+		t.Error("zero height should fail")
+	}
+	if _, err := PlanSlices(100, 10, 8, 1); err == nil {
+		t.Error("halo larger than budget should fail")
+	}
+	if _, err := PlanSlices(100, 64, -1, 1); err == nil {
+		t.Error("negative halo should fail")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(42, 64, 48)
+	b := Synthesize(42, 64, 48)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("same seed should give identical images")
+	}
+	c := Synthesize(43, 64, 48)
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCorpusDistinct(t *testing.T) {
+	imgs := Corpus(1, 5, 32, 24)
+	if len(imgs) != 5 {
+		t.Fatalf("corpus size %d", len(imgs))
+	}
+	for i := 1; i < len(imgs); i++ {
+		if bytes.Equal(imgs[0].Pix, imgs[i].Pix) {
+			t.Fatalf("images 0 and %d identical", i)
+		}
+	}
+}
+
+func TestSynthesizeContentVariety(t *testing.T) {
+	// The scene must populate both chromatic and achromatic bins across a
+	// small corpus, or feature tests would be vacuous.
+	imgs := Corpus(9, 4, 352, 240)
+	bins := map[int]bool{}
+	for _, im := range imgs {
+		for y := 0; y < im.H; y += 3 {
+			for x := 0; x < im.W; x += 3 {
+				r, g, b := im.At(x, y)
+				bins[QuantizeHSV166(r, g, b)] = true
+			}
+		}
+	}
+	if len(bins) < 20 {
+		t.Fatalf("corpus hits only %d distinct bins; too uniform", len(bins))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Synthesize(5, 16, 16)
+	b := a.Clone()
+	b.Set(0, 0, 1, 2, 3)
+	if r, _, _ := a.At(0, 0); r == 1 {
+		ar, _, _ := a.At(0, 0)
+		br, _, _ := b.At(0, 0)
+		if ar == br {
+			t.Fatal("clone aliases original")
+		}
+	}
+}

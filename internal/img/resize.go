@@ -1,0 +1,82 @@
+package img
+
+// Resize — §5.2 notes that MARVEL rescales images that do not match the
+// working frame size and that "rescaling (otherwise a costly operation)"
+// was avoided in the experiments by using same-size inputs. The operation
+// itself is part of the preprocessing substrate, so it is implemented
+// here: fixed-point bilinear interpolation (integer-only, like the rest
+// of the pipeline).
+
+// fixed-point precision for bilinear weights.
+const resizeShift = 12
+
+// Resize returns im scaled to w×h with bilinear interpolation. Identity
+// sizes return a copy.
+func Resize(im *RGB, w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic("img: invalid resize target")
+	}
+	if w == im.W && h == im.H {
+		return im.Clone()
+	}
+	out := New(w, h)
+	// Map destination pixels onto the source grid with the corners
+	// anchored: sx = x·(W−1)/(w−1) in fixed point, computed per pixel so
+	// the far corner lands exactly on the source corner.
+	srcX := func(x int) int {
+		if w == 1 {
+			return 0
+		}
+		return (x * (im.W - 1) << resizeShift) / (w - 1)
+	}
+	srcY := func(y int) int {
+		if h == 1 {
+			return 0
+		}
+		return (y * (im.H - 1) << resizeShift) / (h - 1)
+	}
+	for y := 0; y < h; y++ {
+		sy := srcY(y)
+		y0 := sy >> resizeShift
+		fy := sy & (1<<resizeShift - 1)
+		y1 := y0 + 1
+		if y1 > im.H-1 {
+			y1 = im.H - 1
+		}
+		row0 := im.Pix[y0*im.Stride:]
+		row1 := im.Pix[y1*im.Stride:]
+		for x := 0; x < w; x++ {
+			sx := srcX(x)
+			x0 := sx >> resizeShift
+			fx := sx & (1<<resizeShift - 1)
+			x1 := x0 + 1
+			if x1 > im.W-1 {
+				x1 = im.W - 1
+			}
+			var px [3]byte
+			for c := 0; c < 3; c++ {
+				p00 := int(row0[3*x0+c])
+				p01 := int(row0[3*x1+c])
+				p10 := int(row1[3*x0+c])
+				p11 := int(row1[3*x1+c])
+				top := p00<<resizeShift + (p01-p00)*fx
+				bot := p10<<resizeShift + (p11-p10)*fx
+				v := top<<resizeShift + (bot-top)*fy
+				px[c] = byte(v >> (2 * resizeShift))
+			}
+			out.Set(x, y, px[0], px[1], px[2])
+		}
+	}
+	return out
+}
+
+// ResizeOpsPerPixel is the nominal cost of one bilinear output pixel
+// (8 multiplies, 12 adds/shifts across 3 channels, address math).
+const ResizeOpsPerPixel = 30.0
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package img
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResizeIdentityIsCopy(t *testing.T) {
+	im := Synthesize(3, 20, 14)
+	out := Resize(im, 20, 14)
+	for y := 0; y < 14; y++ {
+		for x := 0; x < 20; x++ {
+			r1, g1, b1 := im.At(x, y)
+			r2, g2, b2 := out.At(x, y)
+			if r1 != r2 || g1 != g2 || b1 != b2 {
+				t.Fatalf("identity resize changed pixel %d,%d", x, y)
+			}
+		}
+	}
+	out.Set(0, 0, 9, 9, 9)
+	if r, _, _ := im.At(0, 0); r == 9 {
+		t.Fatal("identity resize must not alias the source")
+	}
+}
+
+func TestResizeUniformImageStaysUniform(t *testing.T) {
+	im := New(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			im.Set(x, y, 120, 80, 40)
+		}
+	}
+	for _, dim := range [][2]int{{8, 8}, {32, 32}, {5, 29}, {1, 1}} {
+		out := Resize(im, dim[0], dim[1])
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				r, g, b := out.At(x, y)
+				if r != 120 || g != 80 || b != 40 {
+					t.Fatalf("resize %v: pixel %d,%d = %d,%d,%d", dim, x, y, r, g, b)
+				}
+			}
+		}
+	}
+}
+
+func TestResizeCornersPreserved(t *testing.T) {
+	// Bilinear with center mapping anchored at the corners keeps the four
+	// corner pixels exact for any target size > 1.
+	im := Synthesize(9, 31, 23)
+	out := Resize(im, 64, 48)
+	corners := [][2][2]int{
+		{{0, 0}, {0, 0}},
+		{{30, 0}, {63, 0}},
+		{{0, 22}, {0, 47}},
+		{{30, 22}, {63, 47}},
+	}
+	for _, c := range corners {
+		r1, g1, b1 := im.At(c[0][0], c[0][1])
+		r2, g2, b2 := out.At(c[1][0], c[1][1])
+		if r1 != r2 || g1 != g2 || b1 != b2 {
+			t.Fatalf("corner %v not preserved: %d,%d,%d vs %d,%d,%d", c, r1, g1, b1, r2, g2, b2)
+		}
+	}
+}
+
+func TestResizeDownUp(t *testing.T) {
+	im := Synthesize(11, 64, 48)
+	small := Resize(im, 32, 24)
+	if small.W != 32 || small.H != 24 {
+		t.Fatalf("dims %dx%d", small.W, small.H)
+	}
+	big := Resize(small, 64, 48)
+	if big.W != 64 || big.H != 48 {
+		t.Fatalf("dims %dx%d", big.W, big.H)
+	}
+}
+
+func TestResizeRejectsBadTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Resize(New(4, 4), 0, 4)
+}
+
+// Property: output values are always within the min/max of the source
+// channel range (bilinear is a convex combination).
+func TestPropResizeWithinRange(t *testing.T) {
+	f := func(seed uint16, wRaw, hRaw uint8) bool {
+		im := Synthesize(uint64(seed), 17, 13)
+		var lo, hi [3]int
+		for c := range lo {
+			lo[c], hi[c] = 255, 0
+		}
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				px := [3]byte{}
+				px[0], px[1], px[2] = im.At(x, y)
+				for c := 0; c < 3; c++ {
+					if int(px[c]) < lo[c] {
+						lo[c] = int(px[c])
+					}
+					if int(px[c]) > hi[c] {
+						hi[c] = int(px[c])
+					}
+				}
+			}
+		}
+		out := Resize(im, int(wRaw)%40+1, int(hRaw)%40+1)
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				px := [3]byte{}
+				px[0], px[1], px[2] = out.At(x, y)
+				for c := 0; c < 3; c++ {
+					if int(px[c]) < lo[c] || int(px[c]) > hi[c] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package img
+
+import "fmt"
+
+// Slice describes one horizontal band of an image prepared for SPE
+// processing: the payload rows [Y0, Y1) plus the halo rows a windowed
+// operator (convolution, correlogram) needs above and below (§3.4's
+// "border conditions at the data slice edges").
+type Slice struct {
+	// Y0, Y1 bound the payload rows in image coordinates.
+	Y0, Y1 int
+	// HaloTop and HaloBottom are the extra rows transferred before Y0 and
+	// after Y1 (clamped at the image boundary, where the operator's own
+	// boundary handling applies instead).
+	HaloTop, HaloBottom int
+}
+
+// TransferY0 returns the first row actually transferred.
+func (s Slice) TransferY0() int { return s.Y0 - s.HaloTop }
+
+// TransferY1 returns one past the last row actually transferred.
+func (s Slice) TransferY1() int { return s.Y1 + s.HaloBottom }
+
+// TransferRows returns the number of rows transferred (payload + halo).
+func (s Slice) TransferRows() int { return s.TransferY1() - s.TransferY0() }
+
+// PayloadRows returns the number of rows the kernel produces results for.
+func (s Slice) PayloadRows() int { return s.Y1 - s.Y0 }
+
+// PlanSlices partitions an h-row image into slices whose transferred rows
+// (payload + halo) never exceed maxRows, with payload heights that are
+// multiples of granularity except for the final slice. halo is the
+// operator radius in rows. It returns an error when maxRows cannot even
+// hold one granule plus its halos — the kernel simply does not fit and
+// must be restructured, the situation §3.2 warns about.
+func PlanSlices(h, maxRows, halo, granularity int) ([]Slice, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("img: non-positive image height %d", h)
+	}
+	if halo < 0 {
+		return nil, fmt.Errorf("img: negative halo %d", halo)
+	}
+	if granularity <= 0 {
+		granularity = 1
+	}
+	payloadMax := maxRows - 2*halo
+	payloadMax -= payloadMax % granularity
+	if payloadMax <= 0 {
+		return nil, fmt.Errorf("img: %d-row budget cannot hold a %d-row granule with %d-row halos",
+			maxRows, granularity, halo)
+	}
+	var out []Slice
+	for y := 0; y < h; y += payloadMax {
+		s := Slice{Y0: y, Y1: y + payloadMax}
+		if s.Y1 > h {
+			s.Y1 = h
+		}
+		s.HaloTop = halo
+		if s.Y0-halo < 0 {
+			s.HaloTop = s.Y0
+		}
+		s.HaloBottom = halo
+		if s.Y1+halo > h {
+			s.HaloBottom = h - s.Y1
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

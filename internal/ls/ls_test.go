@@ -1,0 +1,116 @@
+package ls
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadProgramTooBig(t *testing.T) {
+	l := New()
+	if err := l.LoadProgram(Size); err == nil {
+		t.Fatal("program of full LS size must not fit (stack reservation)")
+	}
+	if err := l.LoadProgram(Size - DefaultStackBytes); err != nil {
+		t.Fatalf("exact fit should load: %v", err)
+	}
+}
+
+func TestAllocRespectsCapacity(t *testing.T) {
+	l := New()
+	if err := l.LoadProgram(64 * 1024); err != nil {
+		t.Fatal(err)
+	}
+	// 256K - 8K stack - 64K code = 184K available.
+	if _, err := l.Alloc(184*1024, 16); err != nil {
+		t.Fatalf("exact-fit alloc failed: %v", err)
+	}
+	if _, err := l.Alloc(1, 1); err == nil {
+		t.Fatal("allocation beyond capacity should fail")
+	}
+}
+
+func TestAllocErrorIsInformative(t *testing.T) {
+	l := New()
+	if err := l.LoadProgram(200 * 1024); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.Alloc(100*1024, 16)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	for _, needle := range []string{"code", "stack", "available"} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("error %q should mention %q", err, needle)
+		}
+	}
+}
+
+func TestResetReleasesData(t *testing.T) {
+	l := New()
+	if err := l.LoadProgram(10 * 1024); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Free()
+	l.MustAlloc(50*1024, 128)
+	l.Reset()
+	if l.Free() != before {
+		t.Fatalf("Free after Reset = %d, want %d", l.Free(), before)
+	}
+	if l.Peak() < 60*1024 {
+		t.Fatalf("Peak = %d, should remember high water", l.Peak())
+	}
+}
+
+func TestBytesBacked(t *testing.T) {
+	l := New()
+	a := l.MustAlloc(32, 16)
+	l.Bytes(a, 32)[7] = 0x5A
+	if l.Bytes(a, 32)[7] != 0x5A {
+		t.Fatal("LS writes not visible")
+	}
+}
+
+func TestBytesOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Bytes(Size-4, 8)
+}
+
+// Property: allocations are aligned, in bounds, non-overlapping, and never
+// intrude on the stack reservation.
+func TestPropBumpAllocator(t *testing.T) {
+	f := func(sizes []uint16, aligns []uint8, codeKB uint8) bool {
+		l := New()
+		code := uint32(codeKB%128) * 1024
+		if err := l.LoadProgram(code); err != nil {
+			return false
+		}
+		var prevEnd uint32 = code
+		for i, s := range sizes {
+			size := uint32(s)%8192 + 1
+			align := uint32(1)
+			if i < len(aligns) {
+				align = 1 << (aligns[i] % 8)
+			}
+			a, err := l.Alloc(size, align)
+			if err != nil {
+				return l.Free() < size+align // failure only when genuinely tight
+			}
+			if uint32(a)%align != 0 || uint32(a) < prevEnd {
+				return false
+			}
+			if uint64(a)+uint64(size) > Size-DefaultStackBytes {
+				return false
+			}
+			prevEnd = uint32(a) + size
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

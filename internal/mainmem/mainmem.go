@@ -1,0 +1,173 @@
+// Package mainmem models the Cell's XDR main memory: a flat byte-addressed
+// store shared by the PPE and (via DMA) the SPEs, plus an aligned allocator
+// equivalent to the SDK's malloc_align/free_align that the paper's data
+// wrappers rely on (§3.3: "preserve/enforce data alignment for future DMA
+// operations").
+//
+// Data is stored for real: DMA operations copy bytes between this memory
+// and SPE local stores, so a mis-programmed transfer produces wrong feature
+// vectors, exactly as it would on hardware.
+package mainmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is an effective address in main memory.
+type Addr uint32
+
+// Quadword alignment required by the paper's wrapper rule; DMA of >=16
+// bytes performs best at 128-byte alignment.
+const (
+	AlignQuadword  = 16
+	AlignCacheLine = 128
+)
+
+// Memory is a flat main memory with an aligned first-fit allocator.
+type Memory struct {
+	data  []byte
+	free  []span          // sorted by base, coalesced
+	alloc map[Addr]uint32 // base -> size of live allocations
+
+	// Stats
+	allocated   uint32
+	peak        uint32
+	allocations uint64
+}
+
+type span struct {
+	base Addr
+	size uint32
+}
+
+// New returns a memory of the given size in bytes. Address 0 is reserved
+// (kept unallocatable) so that 0 can serve as a null address in wrappers.
+func New(size uint32) *Memory {
+	if size < AlignCacheLine {
+		panic("mainmem: memory too small")
+	}
+	return &Memory{
+		data:  make([]byte, size),
+		free:  []span{{base: AlignCacheLine, size: size - AlignCacheLine}},
+		alloc: make(map[Addr]uint32),
+	}
+}
+
+// Size returns the total memory size.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// Allocated returns the number of live allocated bytes.
+func (m *Memory) Allocated() uint32 { return m.allocated }
+
+// PeakAllocated returns the high-water mark of live bytes.
+func (m *Memory) PeakAllocated() uint32 { return m.peak }
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the base address. It fails when no suitable free span exists.
+func (m *Memory) Alloc(size, align uint32) (Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("mainmem: zero-size allocation")
+	}
+	if align == 0 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("mainmem: alignment %d is not a power of two", align)
+	}
+	for i, s := range m.free {
+		base := (uint32(s.base) + align - 1) &^ (align - 1)
+		pad := base - uint32(s.base)
+		if pad+size > s.size {
+			continue
+		}
+		// Carve [base, base+size) out of s, keeping the pad and the tail.
+		m.free = append(m.free[:i], m.free[i+1:]...)
+		if pad > 0 {
+			m.insertFree(span{base: s.base, size: pad})
+		}
+		if tail := s.size - pad - size; tail > 0 {
+			m.insertFree(span{base: Addr(base + size), size: tail})
+		}
+		m.alloc[Addr(base)] = size
+		m.allocated += size
+		m.allocations++
+		if m.allocated > m.peak {
+			m.peak = m.allocated
+		}
+		return Addr(base), nil
+	}
+	return 0, fmt.Errorf("mainmem: out of memory allocating %d bytes (align %d, %d live)", size, align, m.allocated)
+}
+
+// MustAlloc is Alloc that panics on failure; for setup code whose sizes are
+// static.
+func (m *Memory) MustAlloc(size, align uint32) Addr {
+	a, err := m.Alloc(size, align)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free releases an allocation made by Alloc. Freeing an unknown address is
+// an error (it would indicate wrapper corruption).
+func (m *Memory) Free(a Addr) error {
+	size, ok := m.alloc[a]
+	if !ok {
+		return fmt.Errorf("mainmem: free of unallocated address %#x", uint32(a))
+	}
+	delete(m.alloc, a)
+	m.allocated -= size
+	m.insertFree(span{base: a, size: size})
+	m.coalesce()
+	return nil
+}
+
+func (m *Memory) insertFree(s span) {
+	i := sort.Search(len(m.free), func(i int) bool { return m.free[i].base >= s.base })
+	m.free = append(m.free, span{})
+	copy(m.free[i+1:], m.free[i:])
+	m.free[i] = s
+}
+
+func (m *Memory) coalesce() {
+	out := m.free[:0]
+	for _, s := range m.free {
+		if n := len(out); n > 0 && uint32(out[n-1].base)+out[n-1].size == uint32(s.base) {
+			out[n-1].size += s.size
+			continue
+		}
+		out = append(out, s)
+	}
+	m.free = out
+}
+
+// Bytes returns a mutable view of n bytes at addr, bounds-checked against
+// the whole memory (not against allocation boundaries, as on hardware).
+func (m *Memory) Bytes(addr Addr, n uint32) []byte {
+	end := uint64(addr) + uint64(n)
+	if end > uint64(len(m.data)) {
+		panic(fmt.Sprintf("mainmem: access [%#x,%#x) beyond memory size %#x", uint32(addr), end, len(m.data)))
+	}
+	return m.data[addr:end:end]
+}
+
+// CheckLeaks returns an error naming live allocations; test helpers use it
+// to assert that ported applications release their wrappers.
+func (m *Memory) CheckLeaks() error {
+	if len(m.alloc) == 0 {
+		return nil
+	}
+	addrs := make([]Addr, 0, len(m.alloc))
+	for a := range m.alloc {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return fmt.Errorf("mainmem: %d allocation(s) leaked, first at %#x (%d bytes)",
+		len(addrs), uint32(addrs[0]), m.alloc[addrs[0]])
+}
+
+// FreeSpans returns the number of free spans (exposed for fragmentation
+// tests).
+func (m *Memory) FreeSpans() int { return len(m.free) }
+
+// Allocations returns the cumulative number of successful allocations.
+func (m *Memory) Allocations() uint64 { return m.allocations }

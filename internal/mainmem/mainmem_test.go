@@ -1,0 +1,190 @@
+package mainmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(1 << 20)
+	for _, align := range []uint32{1, 2, 4, 8, 16, 128, 4096} {
+		a, err := m.Alloc(100, align)
+		if err != nil {
+			t.Fatalf("Alloc(align=%d): %v", align, err)
+		}
+		if uint32(a)%align != 0 {
+			t.Errorf("Alloc(align=%d) returned %#x, misaligned", align, uint32(a))
+		}
+	}
+}
+
+func TestAllocRejectsBadArgs(t *testing.T) {
+	m := New(1 << 16)
+	if _, err := m.Alloc(0, 16); err == nil {
+		t.Error("zero-size alloc should fail")
+	}
+	if _, err := m.Alloc(16, 3); err == nil {
+		t.Error("non-power-of-two align should fail")
+	}
+	if _, err := m.Alloc(1<<20, 16); err == nil {
+		t.Error("oversized alloc should fail")
+	}
+}
+
+func TestAddressZeroNeverAllocated(t *testing.T) {
+	m := New(1 << 16)
+	a, err := m.Alloc(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 {
+		t.Fatal("address 0 must stay reserved as the null address")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	m := New(1 << 16)
+	a := m.MustAlloc(1024, 16)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b := m.MustAlloc(1024, 16)
+	if a != b {
+		t.Errorf("freed block not reused: first %#x, second %#x", uint32(a), uint32(b))
+	}
+}
+
+func TestDoubleFreeFails(t *testing.T) {
+	m := New(1 << 16)
+	a := m.MustAlloc(64, 16)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); err == nil {
+		t.Fatal("double free should fail")
+	}
+	if err := m.Free(Addr(12345)); err == nil {
+		t.Fatal("free of never-allocated address should fail")
+	}
+}
+
+func TestCoalescingRestoresSpan(t *testing.T) {
+	m := New(1 << 16)
+	var addrs []Addr
+	for i := 0; i < 8; i++ {
+		addrs = append(addrs, m.MustAlloc(512, 16))
+	}
+	// Free in shuffled order; afterwards the memory must be one span again.
+	rand.New(rand.NewSource(1)).Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	for _, a := range addrs {
+		if err := m.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.FreeSpans(); got != 1 {
+		t.Fatalf("after freeing everything, FreeSpans = %d, want 1", got)
+	}
+	if m.Allocated() != 0 {
+		t.Fatalf("Allocated = %d, want 0", m.Allocated())
+	}
+	if err := m.CheckLeaks(); err != nil {
+		t.Fatalf("unexpected leak report: %v", err)
+	}
+}
+
+func TestCheckLeaksReports(t *testing.T) {
+	m := New(1 << 16)
+	m.MustAlloc(64, 16)
+	if err := m.CheckLeaks(); err == nil {
+		t.Fatal("CheckLeaks should report the live allocation")
+	}
+}
+
+func TestBytesViewsAreBacked(t *testing.T) {
+	m := New(1 << 16)
+	a := m.MustAlloc(16, 16)
+	m.Bytes(a, 16)[3] = 0xAB
+	if m.Bytes(a, 16)[3] != 0xAB {
+		t.Fatal("writes through Bytes view not visible")
+	}
+	// The view must be capacity-limited so appends cannot clobber neighbours.
+	v := m.Bytes(a, 4)
+	if cap(v) != 4 {
+		t.Fatalf("Bytes cap = %d, want 4", cap(v))
+	}
+}
+
+func TestBytesOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range access")
+		}
+	}()
+	m := New(1 << 12)
+	m.Bytes(Addr(1<<12-8), 16)
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	m := New(1 << 16)
+	a := m.MustAlloc(1000, 16)
+	b := m.MustAlloc(2000, 16)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakAllocated() != 3000 {
+		t.Fatalf("peak = %d, want 3000", m.PeakAllocated())
+	}
+	if m.Allocations() != 2 {
+		t.Fatalf("allocations = %d, want 2", m.Allocations())
+	}
+}
+
+// Property: any sequence of allocations yields non-overlapping, aligned,
+// in-bounds blocks, and freeing everything restores a single span.
+func TestPropAllocatorInvariant(t *testing.T) {
+	type req struct {
+		Size  uint16
+		Align uint8
+	}
+	f := func(reqs []req) bool {
+		m := New(1 << 20)
+		type block struct {
+			base Addr
+			size uint32
+		}
+		var live []block
+		for _, r := range reqs {
+			size := uint32(r.Size)%4096 + 1
+			align := uint32(1) << (uint32(r.Align) % 8) // 1..128
+			a, err := m.Alloc(size, align)
+			if err != nil {
+				continue // out of memory is legal; invariants still hold
+			}
+			if uint32(a)%align != 0 {
+				return false
+			}
+			if uint64(a)+uint64(size) > uint64(m.Size()) {
+				return false
+			}
+			for _, b := range live {
+				if uint32(a) < uint32(b.base)+b.size && uint32(b.base) < uint32(a)+size {
+					return false // overlap
+				}
+			}
+			live = append(live, block{a, size})
+		}
+		for _, b := range live {
+			if err := m.Free(b.base); err != nil {
+				return false
+			}
+		}
+		return m.FreeSpans() == 1 && m.Allocated() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

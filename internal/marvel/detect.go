@@ -1,0 +1,217 @@
+package marvel
+
+import (
+	"fmt"
+
+	"cellport/internal/core"
+	"cellport/internal/cost"
+	"cellport/internal/ls"
+	"cellport/internal/mainmem"
+	"cellport/internal/spe"
+	"cellport/internal/svm"
+)
+
+// PlacedModel is an encoded SVM laid out in simulated main memory for SPE
+// streaming:
+//
+//	hdr    16 B              [numSV f32][dim f32][bias f32][gamma f32]
+//	coeffs pad16(numSV*4) B  float32 coefficients
+//	svs    numSV*dim*4 B     support vectors, row-major (+16 B tail pad
+//	                         so the last chunk's padded DMA stays in
+//	                         bounds)
+type PlacedModel struct {
+	EA       mainmem.Addr
+	NumSV    int
+	Dim      int
+	svOff    uint32
+	total    uint32
+	refModel *svm.Model
+}
+
+// PlaceModel writes the encoded model into main memory.
+func PlaceModel(mem *mainmem.Memory, m *svm.Model) (*PlacedModel, error) {
+	enc, err := svm.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	n, dim := len(m.SupportVectors), m.Dim()
+	coeffBytes := pad16(uint32(n) * 4)
+	svBytes := uint32(n*dim) * 4
+	total := hdrBytes + coeffBytes + svBytes + 16
+	ea, err := mem.Alloc(total, mainmem.AlignCacheLine)
+	if err != nil {
+		return nil, fmt.Errorf("marvel: placing model %q: %w", m.Concept, err)
+	}
+	core.PutFloat32s(mem.Bytes(ea, hdrBytes), enc[:4])
+	core.PutFloat32s(mem.Bytes(ea+hdrBytes, uint32(n)*4), enc[4:4+n])
+	core.PutFloat32s(mem.Bytes(ea+hdrBytes+mainmem.Addr(coeffBytes), svBytes), enc[4+n:])
+	return &PlacedModel{
+		EA: ea, NumSV: n, Dim: dim,
+		svOff: hdrBytes + coeffBytes, total: total, refModel: m,
+	}, nil
+}
+
+// Bytes returns the placed size (for PPE MemStream accounting).
+func (p *PlacedModel) Bytes() uint32 { return p.total }
+
+// Free releases the model block.
+func (p *PlacedModel) Free(mem *mainmem.Memory) error { return mem.Free(p.EA) }
+
+// svChunkRows returns how many support-vector rows one DMA chunk holds:
+// the largest count whose byte size is <=16 KB and a multiple of 16 (so
+// successive chunk EAs stay quadword-aligned).
+func svChunkRows(dim int) int {
+	rowBytes := dim * 4
+	k := 16384 / rowBytes
+	for k > 1 && (k*rowBytes)%16 != 0 {
+		k--
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// DetectKernelSpec builds the concept-detection SPE kernel: it DMAs the
+// feature vector, then streams the model's coefficient block and support
+// vectors from main memory (double-buffered in the optimized variant),
+// evaluating the real SVM decision function exactly as the reference
+// does.
+func DetectKernelSpec(v Variant) core.KernelSpec {
+	cal := Cal(KCD)
+	fn := func(ctx *spe.Context, wrapper mainmem.Addr) uint32 {
+		st := ctx.Store()
+		hdrLS := st.MustAlloc(hdrBytes, 16)
+		if err := ctx.Get(hdrLS, wrapper, hdrBytes, 0); err != nil {
+			return resErr
+		}
+		ctx.WaitTag(0)
+		hdr := core.GetUint32s(st.Bytes(hdrLS, hdrBytes))
+		dim, numSV := int(hdr[0]), int(hdr[1])
+		modelEA := mainmem.Addr(hdr[2])
+		if dim <= 0 || numSV <= 0 {
+			return resErr
+		}
+
+		// Feature vector.
+		featBytes := pad16(uint32(dim) * 4)
+		featLS := st.MustAlloc(featBytes, 16)
+		if err := ctx.Get(featLS, wrapper+mainmem.Addr(detectFeatureOff()), featBytes, 0); err != nil {
+			return resErr
+		}
+		// Model header + coefficients (small; fetched together with the
+		// feature under tag 0).
+		mHdrLS := st.MustAlloc(hdrBytes, 16)
+		coeffBytes := pad16(uint32(numSV) * 4)
+		coeffLS := st.MustAlloc(coeffBytes, 16)
+		if err := ctx.Get(mHdrLS, modelEA, hdrBytes, 0); err != nil {
+			return resErr
+		}
+		if err := ctx.Get(coeffLS, modelEA+hdrBytes, coeffBytes, 0); err != nil {
+			return resErr
+		}
+		ctx.WaitTag(0)
+
+		mh := core.GetFloat32s(st.Bytes(mHdrLS, hdrBytes))
+		if int(mh[0]) != numSV || int(mh[1]) != dim {
+			return resErr
+		}
+		bias, gamma := float64(mh[2]), float64(mh[3])
+		var kern svm.Kernel = svm.Linear{}
+		if gamma > 0 {
+			kern = svm.RBF{Gamma: gamma}
+		}
+		feature := core.GetFloat32s(st.Bytes(featLS, uint32(dim)*4))
+		coeffs := core.GetFloat32s(st.Bytes(coeffLS, uint32(numSV)*4))
+
+		// Stream support vectors in chunks.
+		chunkRows := svChunkRows(dim)
+		rowBytes := dim * 4
+		chunkBytes := uint32(chunkRows * rowBytes)
+		buffers := 1
+		if v == Optimized {
+			buffers = 2
+		}
+		var bufs [2]ls.Addr
+		for i := 0; i < buffers; i++ {
+			bufs[i] = st.MustAlloc(pad16(chunkBytes), 16)
+		}
+		nChunks := (numSV + chunkRows - 1) / chunkRows
+		svEA := modelEA + hdrBytes + mainmem.Addr(coeffBytes)
+		chunkOf := func(i int) (ea mainmem.Addr, bytes uint32, rows int) {
+			start := i * chunkRows
+			rows = chunkRows
+			if start+rows > numSV {
+				rows = numSV - start
+			}
+			return svEA + mainmem.Addr(start*rowBytes), pad16(uint32(rows * rowBytes)), rows
+		}
+		fetch := func(i, tag int) error {
+			ea, bytes, _ := chunkOf(i)
+			return ctx.Get(bufs[tag], ea, bytes, tag)
+		}
+		sum := bias
+		process := func(i, tag int) {
+			_, _, rows := chunkOf(i)
+			data := core.GetFloat32s(st.Bytes(bufs[tag], uint32(rows*rowBytes)))
+			base := i * chunkRows
+			for r := 0; r < rows; r++ {
+				sv := data[r*dim : (r+1)*dim]
+				sum += float64(coeffs[base+r]) * kern.Eval(sv, feature)
+			}
+			nomOps := detectNomOps(rows, dim)
+			switch v {
+			case Optimized:
+				ctx.ComputeSIMD(nomOps, cost.Bits32, cal.OptEff, "detect")
+			default:
+				ctx.ComputeCycles(nomOps/(ctx.Model().ScalarIPC*cal.NaiveEff), "detect")
+				ctx.ComputeBranches(float64(rows)*3, NaiveMispredict, "detect")
+			}
+			ctx.ComputeCycles(cal.SliceOverheadCycles, "detect-overhead")
+		}
+		if v == Optimized {
+			if err := fetch(0, 0); err != nil {
+				return resErr
+			}
+			for i := 0; i < nChunks; i++ {
+				cur := i % 2
+				if i+1 < nChunks {
+					if err := fetch(i+1, 1-cur); err != nil {
+						return resErr
+					}
+				}
+				ctx.WaitTag(cur)
+				process(i, cur)
+			}
+		} else {
+			for i := 0; i < nChunks; i++ {
+				if err := fetch(i, 0); err != nil {
+					return resErr
+				}
+				ctx.WaitTag(0)
+				process(i, 0)
+			}
+		}
+
+		// Report the decision: score field + classification bit.
+		scoreLS := st.MustAlloc(scoreBytes, 16)
+		sb := st.Bytes(scoreLS, scoreBytes)
+		core.PutFloat32s(sb[:4], []float32{float32(sum)})
+		class := uint32(0)
+		if sum > 0 {
+			class = 1
+		}
+		core.PutUint32s(sb[4:8], []uint32{class})
+		if err := ctx.Put(scoreLS, wrapper+mainmem.Addr(detectScoreOff(dim)), scoreBytes, 1); err != nil {
+			return resErr
+		}
+		ctx.WaitTag(1)
+		return resOK
+	}
+	return core.KernelSpec{
+		Name:      fmt.Sprintf("%s-%s", KCD, v),
+		CodeBytes: cal.CodeBytes,
+		Mode:      core.Polling,
+		Functions: map[core.Opcode]core.KernelFunc{OpRun: fn},
+	}
+}

@@ -1,0 +1,167 @@
+// Package mbox models the Cell's PPE↔SPE small-message hardware: per-SPE
+// mailboxes (a 4-entry inbound FIFO written by the PPE, a 1-entry outbound
+// FIFO and a 1-entry outbound-interrupt FIFO written by the SPU) and the
+// two 32-bit signal-notification registers. These are the channels the
+// paper's SendAndWait protocol (§3.5, Listing 3) is built on.
+package mbox
+
+import (
+	"cellport/internal/sim"
+)
+
+// Capacities of the hardware FIFOs.
+const (
+	InboundDepth  = 4
+	OutboundDepth = 1
+)
+
+// Mailbox is a fixed-capacity 32-bit FIFO with blocking semantics on both
+// sides, in virtual time.
+type Mailbox struct {
+	engine   *sim.Engine
+	name     string
+	capacity int
+	fifo     []uint32
+	notEmpty *sim.Queue
+	notFull  *sim.Queue
+
+	writes uint64
+	reads  uint64
+}
+
+// NewMailbox returns a mailbox with the given entry capacity.
+func NewMailbox(e *sim.Engine, name string, capacity int) *Mailbox {
+	if capacity <= 0 {
+		panic("mbox: capacity must be positive")
+	}
+	return &Mailbox{
+		engine:   e,
+		name:     name,
+		capacity: capacity,
+		notEmpty: sim.NewQueue(name + " not-empty"),
+		notFull:  sim.NewQueue(name + " not-full"),
+	}
+}
+
+// Name returns the mailbox label.
+func (m *Mailbox) Name() string { return m.name }
+
+// Count reports the number of queued entries (the spe_stat_* analog).
+func (m *Mailbox) Count() int { return len(m.fifo) }
+
+// Space reports the number of free entries.
+func (m *Mailbox) Space() int { return m.capacity - len(m.fifo) }
+
+// Write enqueues v, blocking the calling process until space is available.
+func (m *Mailbox) Write(p *sim.Proc, v uint32) {
+	p.WaitFor(m.notFull, func() bool { return len(m.fifo) < m.capacity })
+	m.fifo = append(m.fifo, v)
+	m.writes++
+	m.notEmpty.WakeAll(m.engine)
+}
+
+// TryWrite enqueues v without blocking; it reports whether it succeeded.
+func (m *Mailbox) TryWrite(v uint32) bool {
+	if len(m.fifo) >= m.capacity {
+		return false
+	}
+	m.fifo = append(m.fifo, v)
+	m.writes++
+	m.notEmpty.WakeAll(m.engine)
+	return true
+}
+
+// Read dequeues the oldest entry, blocking the calling process until one
+// is available.
+func (m *Mailbox) Read(p *sim.Proc) uint32 {
+	p.WaitFor(m.notEmpty, func() bool { return len(m.fifo) > 0 })
+	v := m.fifo[0]
+	copy(m.fifo, m.fifo[1:])
+	m.fifo = m.fifo[:len(m.fifo)-1]
+	m.reads++
+	m.notFull.WakeAll(m.engine)
+	return v
+}
+
+// TryRead dequeues without blocking.
+func (m *Mailbox) TryRead() (uint32, bool) {
+	if len(m.fifo) == 0 {
+		return 0, false
+	}
+	v := m.fifo[0]
+	copy(m.fifo, m.fifo[1:])
+	m.fifo = m.fifo[:len(m.fifo)-1]
+	m.reads++
+	m.notFull.WakeAll(m.engine)
+	return v, true
+}
+
+// WaitNotEmpty blocks until the mailbox has at least one entry without
+// consuming it (interrupt-style completion notification).
+func (m *Mailbox) WaitNotEmpty(p *sim.Proc) {
+	p.WaitFor(m.notEmpty, func() bool { return len(m.fifo) > 0 })
+}
+
+// Writes reports the cumulative number of successful writes.
+func (m *Mailbox) Writes() uint64 { return m.writes }
+
+// Reads reports the cumulative number of successful reads.
+func (m *Mailbox) Reads() uint64 { return m.reads }
+
+// SignalMode selects how concurrent writes to a signal register combine.
+type SignalMode int
+
+// Signal register modes (hardware-configurable per register).
+const (
+	// SignalOR accumulates set bits across writers.
+	SignalOR SignalMode = iota
+	// SignalOverwrite keeps only the last written value.
+	SignalOverwrite
+)
+
+// Signal is one SPU signal-notification register: a 32-bit value readable
+// (and cleared) by the SPU, writable by other elements.
+type Signal struct {
+	engine  *sim.Engine
+	name    string
+	mode    SignalMode
+	value   uint32
+	pending bool
+	notZero *sim.Queue
+}
+
+// NewSignal returns a signal register in the given mode.
+func NewSignal(e *sim.Engine, name string, mode SignalMode) *Signal {
+	return &Signal{engine: e, name: name, mode: mode, notZero: sim.NewQueue(name + " signal")}
+}
+
+// Send writes v into the register (OR or overwrite per mode) and wakes a
+// blocked reader.
+func (s *Signal) Send(v uint32) {
+	if s.mode == SignalOR && s.pending {
+		s.value |= v
+	} else {
+		s.value = v
+	}
+	s.pending = true
+	s.notZero.WakeAll(s.engine)
+}
+
+// Read blocks until a signal is pending, then returns and clears it
+// (read-and-clear channel semantics).
+func (s *Signal) Read(p *sim.Proc) uint32 {
+	p.WaitFor(s.notZero, func() bool { return s.pending })
+	v := s.value
+	s.value = 0
+	s.pending = false
+	return v
+}
+
+// Peek reports the pending value without clearing.
+func (s *Signal) Peek() (uint32, bool) { return s.value, s.pending }
+
+// WaitNotEmptyTimeout blocks until the mailbox has an entry or d of
+// virtual time passes; it reports whether an entry is available.
+func (m *Mailbox) WaitNotEmptyTimeout(p *sim.Proc, d sim.Duration) bool {
+	return p.WaitForTimeout(m.notEmpty, d, func() bool { return len(m.fifo) > 0 })
+}

@@ -1,0 +1,214 @@
+package mbox
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cellport/internal/sim"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMailbox(e, "in", InboundDepth)
+	var got []uint32
+	e.Spawn("writer", func(p *sim.Proc) {
+		for _, v := range []uint32{10, 20, 30} {
+			m.Write(p, v)
+		}
+	})
+	e.Spawn("reader", func(p *sim.Proc) {
+		p.Sleep(sim.Nanosecond)
+		for i := 0; i < 3; i++ {
+			got = append(got, m.Read(p))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint32{10, 20, 30}) {
+		t.Fatalf("got %v, want FIFO order", got)
+	}
+	if m.Writes() != 3 || m.Reads() != 3 {
+		t.Fatalf("stats writes=%d reads=%d, want 3/3", m.Writes(), m.Reads())
+	}
+}
+
+func TestMailboxWriterBlocksWhenFull(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMailbox(e, "in", 2)
+	var fifthWriteAt sim.Time
+	e.Spawn("writer", func(p *sim.Proc) {
+		for i := uint32(0); i < 3; i++ {
+			m.Write(p, i) // third write must block until the read below
+		}
+		fifthWriteAt = p.Now()
+	})
+	e.Spawn("reader", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Nanosecond)
+		m.Read(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fifthWriteAt != sim.Time(5*sim.Nanosecond) {
+		t.Fatalf("blocked write completed at %v, want 5ns", fifthWriteAt)
+	}
+}
+
+func TestMailboxReaderBlocksWhenEmpty(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMailbox(e, "out", OutboundDepth)
+	var readAt sim.Time
+	var val uint32
+	e.Spawn("reader", func(p *sim.Proc) {
+		val = m.Read(p)
+		readAt = p.Now()
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		p.Sleep(9 * sim.Nanosecond)
+		m.Write(p, 77)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readAt != sim.Time(9*sim.Nanosecond) || val != 77 {
+		t.Fatalf("read %d at %v, want 77 at 9ns", val, readAt)
+	}
+}
+
+func TestTryWriteTryRead(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMailbox(e, "x", 1)
+	if _, ok := m.TryRead(); ok {
+		t.Fatal("TryRead on empty should fail")
+	}
+	if !m.TryWrite(5) {
+		t.Fatal("TryWrite on empty should succeed")
+	}
+	if m.TryWrite(6) {
+		t.Fatal("TryWrite on full should fail")
+	}
+	if m.Count() != 1 || m.Space() != 0 {
+		t.Fatalf("Count=%d Space=%d, want 1/0", m.Count(), m.Space())
+	}
+	v, ok := m.TryRead()
+	if !ok || v != 5 {
+		t.Fatalf("TryRead = %d,%v want 5,true", v, ok)
+	}
+}
+
+func TestWaitNotEmptyDoesNotConsume(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMailbox(e, "intr", 1)
+	var observed uint32
+	e.Spawn("ppe", func(p *sim.Proc) {
+		m.WaitNotEmpty(p)
+		observed = m.Read(p) // still there
+	})
+	e.Spawn("spu", func(p *sim.Proc) {
+		p.Sleep(sim.Nanosecond)
+		m.Write(p, 42)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if observed != 42 {
+		t.Fatalf("observed %d, want 42", observed)
+	}
+}
+
+func TestSignalORMode(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewSignal(e, "sig", SignalOR)
+	var got uint32
+	e.Spawn("spu", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Nanosecond)
+		got = s.Read(p)
+	})
+	e.Spawn("ppe", func(p *sim.Proc) {
+		s.Send(0b01)
+		p.Sleep(sim.Nanosecond)
+		s.Send(0b10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0b11 {
+		t.Fatalf("OR-mode signal = %#b, want 0b11", got)
+	}
+}
+
+func TestSignalOverwriteMode(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewSignal(e, "sig", SignalOverwrite)
+	var got uint32
+	e.Spawn("spu", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Nanosecond)
+		got = s.Read(p)
+	})
+	e.Spawn("ppe", func(p *sim.Proc) {
+		s.Send(1)
+		p.Sleep(sim.Nanosecond)
+		s.Send(2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("overwrite-mode signal = %d, want 2", got)
+	}
+}
+
+func TestSignalReadClears(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewSignal(e, "sig", SignalOR)
+	var second uint32
+	e.Spawn("spu", func(p *sim.Proc) {
+		s.Send(7)
+		if v := s.Read(p); v != 7 {
+			t.Errorf("first read = %d, want 7", v)
+		}
+		if _, pending := s.Peek(); pending {
+			t.Error("signal should be clear after read")
+		}
+		s.Send(9)
+		second = s.Read(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != 9 {
+		t.Fatalf("second read = %d, want 9 (no stale OR)", second)
+	}
+}
+
+// Property: for any write sequence, a single reader drains values in
+// exactly the written order, regardless of FIFO capacity pressure.
+func TestPropMailboxPreservesOrder(t *testing.T) {
+	f := func(vals []uint32, capRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		e := sim.NewEngine()
+		m := NewMailbox(e, "prop", capacity)
+		var got []uint32
+		e.Spawn("w", func(p *sim.Proc) {
+			for _, v := range vals {
+				m.Write(p, v)
+			}
+		})
+		e.Spawn("r", func(p *sim.Proc) {
+			for range vals {
+				got = append(got, m.Read(p))
+				p.Sleep(sim.Nanosecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, append([]uint32(nil), vals...)) ||
+			(len(vals) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

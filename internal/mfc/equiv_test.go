@@ -1,0 +1,116 @@
+package mfc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cellport/internal/ls"
+	"cellport/internal/mainmem"
+	"cellport/internal/sim"
+)
+
+// TestPropListEqualsIndividualGets: a DMA list gather delivers exactly
+// the bytes that the equivalent sequence of individual gets delivers —
+// the §4.1 "DMA lists" optimization changes timing and queue usage, never
+// data.
+func TestPropListEqualsIndividualGets(t *testing.T) {
+	f := func(seed uint32, sizesRaw []uint8) bool {
+		if len(sizesRaw) == 0 || len(sizesRaw) > 12 {
+			return true
+		}
+		// Build scattered source runs.
+		r1 := newRig()
+		r2 := newRig()
+		var eas []mainmem.Addr
+		var sizes []uint32
+		total := uint32(0)
+		s := uint64(seed) | 1
+		next := func() byte {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return byte(s)
+		}
+		for _, raw := range sizesRaw {
+			size := (uint32(raw)%64 + 1) * 16 // 16..1024, multiple of 16
+			ea1 := r1.mem.MustAlloc(size, 128)
+			ea2 := r2.mem.MustAlloc(size, 128)
+			if ea1 != ea2 {
+				return false // allocators must agree for a fair comparison
+			}
+			buf1 := r1.mem.Bytes(ea1, size)
+			buf2 := r2.mem.Bytes(ea2, size)
+			for i := range buf1 {
+				v := next()
+				buf1[i] = v
+				buf2[i] = v
+			}
+			eas = append(eas, ea1)
+			sizes = append(sizes, size)
+			total += size
+		}
+		lsa1 := r1.st.MustAlloc(total, 16)
+		lsa2 := r2.st.MustAlloc(total, 16)
+
+		// Rig 1: one DMA list.
+		r1.e.Spawn("list", func(p *sim.Proc) {
+			var list []ListElement
+			for i := range eas {
+				list = append(list, ListElement{EA: eas[i], Size: sizes[i]})
+			}
+			if err := r1.m.GetList(p, lsa1, list, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			r1.m.WaitTag(p, 1)
+		})
+		if err := r1.e.Run(); err != nil {
+			return false
+		}
+		// Rig 2: individual gets.
+		r2.e.Spawn("gets", func(p *sim.Proc) {
+			off := uint32(0)
+			for i := range eas {
+				if err := r2.m.Get(p, lsa2+ls.Addr(off), eas[i], sizes[i], int(i%NumTags)); err != nil {
+					t.Error(err)
+					return
+				}
+				off += sizes[i]
+			}
+			r2.m.WaitAll(p)
+		})
+		if err := r2.e.Run(); err != nil {
+			return false
+		}
+		return bytes.Equal(r1.st.Bytes(lsa1, total), r2.st.Bytes(lsa2, total))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListUsesOneQueueSlot: the reason DMA lists matter — many pieces,
+// one MFC queue entry.
+func TestListUsesOneQueueSlot(t *testing.T) {
+	r := newRig()
+	ea := r.mem.MustAlloc(1<<16, 128)
+	lsa := r.st.MustAlloc(1<<15, 16)
+	r.e.Spawn("spu", func(p *sim.Proc) {
+		var list []ListElement
+		for i := 0; i < 32; i++ {
+			list = append(list, ListElement{EA: ea + mainmem.Addr(i*1024), Size: 1024})
+		}
+		if err := r.m.GetList(p, lsa, list, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		r.m.WaitTag(p, 0)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.m.Stats(); s.PeakQueue != 1 {
+		t.Fatalf("peak queue = %d, want 1 (single list command)", s.PeakQueue)
+	}
+}

@@ -1,0 +1,300 @@
+// Package mfc models an SPE's Memory Flow Controller: a 16-entry DMA
+// command queue moving data between main memory and the local store over
+// the EIB, with tag groups for completion tracking, hardware transfer-size
+// and alignment rules enforced, and DMA-list (scatter/gather) commands.
+//
+// Data moves for real: a Get copies bytes from simulated main memory into
+// the local store at transfer completion; a Put snapshots the local-store
+// bytes at issue time (overwriting a buffer before its tag completes is a
+// real double-buffering bug on hardware, and snapshotting keeps the
+// simulation deterministic while rewarding correct tag discipline).
+package mfc
+
+import (
+	"fmt"
+
+	"cellport/internal/eib"
+	"cellport/internal/ls"
+	"cellport/internal/mainmem"
+	"cellport/internal/sim"
+)
+
+// Hardware limits.
+const (
+	QueueDepth      = 16        // MFC SPU command queue entries
+	MaxTransfer     = 16 * 1024 // bytes per DMA command
+	NumTags         = 32
+	MaxListElements = 2048
+)
+
+// Config sets MFC timing parameters.
+type Config struct {
+	// IssueCost is SPU time consumed writing the command to the MFC
+	// channels (a few channel writes).
+	IssueCost sim.Duration
+	// StartupLatency is the time from command issue to first data on the
+	// bus (address translation, EIB arbitration).
+	StartupLatency sim.Duration
+}
+
+// DefaultConfig returns latencies in line with published Cell DMA
+// measurements (~100 ns small-transfer latency).
+func DefaultConfig() Config {
+	return Config{
+		IssueCost:      10 * sim.Nanosecond,
+		StartupLatency: 90 * sim.Nanosecond,
+	}
+}
+
+// MFC is one SPE's memory flow controller.
+type MFC struct {
+	engine *sim.Engine
+	bus    *eib.Bus
+	mem    *mainmem.Memory
+	store  *ls.LocalStore
+	port   eib.Port
+	cfg    Config
+
+	slots      *sim.Semaphore
+	tagPending [NumTags]int
+	tagWait    *sim.Queue
+
+	// Stats
+	commands  uint64
+	bytesIn   uint64 // main memory -> LS
+	bytesOut  uint64 // LS -> main memory
+	listCmds  uint64
+	peakQueue int
+}
+
+// New creates an MFC bound to one SPE's local store and bus port.
+func New(e *sim.Engine, bus *eib.Bus, mem *mainmem.Memory, store *ls.LocalStore, port eib.Port, cfg Config) *MFC {
+	return &MFC{
+		engine: e, bus: bus, mem: mem, store: store, port: port, cfg: cfg,
+		slots:   sim.NewSemaphore(e, fmt.Sprintf("%v MFC queue", port), QueueDepth),
+		tagWait: sim.NewQueue(fmt.Sprintf("%v tag-group", port)),
+	}
+}
+
+// ListElement describes one entry of a DMA list command: a contiguous run
+// in main memory. The LS side advances by Size for each element.
+type ListElement struct {
+	EA   mainmem.Addr
+	Size uint32
+}
+
+// checkTransfer enforces the hardware DMA rules: legal sizes are 1, 2, 4,
+// 8 and multiples of 16 up to 16 KB; small transfers must be naturally
+// aligned; 16-byte-and-larger transfers require quadword alignment on both
+// addresses with matching low-order offsets.
+func checkTransfer(lsa ls.Addr, ea mainmem.Addr, size uint32) error {
+	switch {
+	case size == 0:
+		return fmt.Errorf("mfc: zero-length DMA")
+	case size > MaxTransfer:
+		return fmt.Errorf("mfc: DMA size %d exceeds %d-byte limit", size, MaxTransfer)
+	case size == 1 || size == 2 || size == 4 || size == 8:
+		if uint32(lsa)%size != 0 || uint32(ea)%size != 0 {
+			return fmt.Errorf("mfc: %d-byte DMA requires natural alignment (ls=%#x ea=%#x)", size, uint32(lsa), uint32(ea))
+		}
+	case size%16 == 0:
+		if uint32(lsa)%16 != 0 || uint32(ea)%16 != 0 {
+			return fmt.Errorf("mfc: %d-byte DMA requires quadword alignment (ls=%#x ea=%#x)", size, uint32(lsa), uint32(ea))
+		}
+	default:
+		return fmt.Errorf("mfc: illegal DMA size %d (must be 1, 2, 4, 8 or a multiple of 16)", size)
+	}
+	return nil
+}
+
+func checkTag(tag int) error {
+	if tag < 0 || tag >= NumTags {
+		return fmt.Errorf("mfc: tag %d out of range [0,%d)", tag, NumTags)
+	}
+	return nil
+}
+
+// Get enqueues a main-memory -> local-store transfer under the given tag.
+// The calling process pays the issue cost and blocks only if the command
+// queue is full. Data lands in the LS when the tag completes.
+func (m *MFC) Get(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag int) error {
+	if err := checkTransfer(lsa, ea, size); err != nil {
+		return err
+	}
+	if err := checkTag(tag); err != nil {
+		return err
+	}
+	// Validate both windows now so errors surface at the issue site.
+	dst := m.store.Bytes(lsa, size)
+	src := m.mem.Bytes(ea, size)
+	p.Sleep(m.cfg.IssueCost)
+	m.slots.Acquire(p)
+	m.noteQueueDepth()
+	m.tagPending[tag]++
+	m.commands++
+	m.engine.After(m.cfg.StartupLatency, func() {
+		m.bus.Start(eib.PortMemory, m.port, int64(size), func() {
+			copy(dst, src)
+			m.bytesIn += uint64(size)
+			m.finish(tag)
+		})
+	})
+	return nil
+}
+
+// Put enqueues a local-store -> main-memory transfer under the given tag.
+// The LS bytes are snapshotted at issue time (see package comment).
+func (m *MFC) Put(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag int) error {
+	if err := checkTransfer(lsa, ea, size); err != nil {
+		return err
+	}
+	if err := checkTag(tag); err != nil {
+		return err
+	}
+	snapshot := append([]byte(nil), m.store.Bytes(lsa, size)...)
+	dst := m.mem.Bytes(ea, size)
+	p.Sleep(m.cfg.IssueCost)
+	m.slots.Acquire(p)
+	m.noteQueueDepth()
+	m.tagPending[tag]++
+	m.commands++
+	m.engine.After(m.cfg.StartupLatency, func() {
+		m.bus.Start(m.port, eib.PortMemory, int64(size), func() {
+			copy(dst, snapshot)
+			m.bytesOut += uint64(size)
+			m.finish(tag)
+		})
+	})
+	return nil
+}
+
+// GetList enqueues a DMA-list (gather) command: elements are transferred
+// serially into consecutive LS space starting at lsa, all under one tag
+// and one queue slot — the reason DMA lists beat strings of individual
+// gets for many small pieces (§4.1).
+func (m *MFC) GetList(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int) error {
+	return m.listCmd(p, lsa, list, tag, true)
+}
+
+// PutList enqueues a DMA-list (scatter) command from consecutive LS space.
+func (m *MFC) PutList(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int) error {
+	return m.listCmd(p, lsa, list, tag, false)
+}
+
+func (m *MFC) listCmd(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int, get bool) error {
+	if len(list) == 0 {
+		return fmt.Errorf("mfc: empty DMA list")
+	}
+	if len(list) > MaxListElements {
+		return fmt.Errorf("mfc: DMA list has %d elements, max %d", len(list), MaxListElements)
+	}
+	if err := checkTag(tag); err != nil {
+		return err
+	}
+	cursor := lsa
+	type piece struct {
+		dst, src []byte
+		size     uint32
+	}
+	pieces := make([]piece, 0, len(list))
+	for i, el := range list {
+		if err := checkTransfer(cursor, el.EA, el.Size); err != nil {
+			return fmt.Errorf("mfc: list element %d: %w", i, err)
+		}
+		lsb := m.store.Bytes(cursor, el.Size)
+		mb := m.mem.Bytes(el.EA, el.Size)
+		if get {
+			pieces = append(pieces, piece{dst: lsb, src: mb, size: el.Size})
+		} else {
+			pieces = append(pieces, piece{dst: mb, src: append([]byte(nil), lsb...), size: el.Size})
+		}
+		cursor = ls.Addr(uint32(cursor) + el.Size)
+	}
+	p.Sleep(m.cfg.IssueCost)
+	m.slots.Acquire(p)
+	m.noteQueueDepth()
+	m.tagPending[tag]++
+	m.commands++
+	m.listCmds++
+	// Elements stream serially on the bus under a single startup latency.
+	var runElement func(i int)
+	runElement = func(i int) {
+		pc := pieces[i]
+		src, dst := eib.PortMemory, m.port
+		if !get {
+			src, dst = m.port, eib.PortMemory
+		}
+		m.bus.Start(src, dst, int64(pc.size), func() {
+			copy(pc.dst, pc.src)
+			if get {
+				m.bytesIn += uint64(pc.size)
+			} else {
+				m.bytesOut += uint64(pc.size)
+			}
+			if i+1 < len(pieces) {
+				runElement(i + 1)
+				return
+			}
+			m.finish(tag)
+		})
+	}
+	m.engine.After(m.cfg.StartupLatency, func() { runElement(0) })
+	return nil
+}
+
+func (m *MFC) finish(tag int) {
+	m.tagPending[tag]--
+	m.slots.Release()
+	m.tagWait.WakeAll(m.engine)
+}
+
+func (m *MFC) noteQueueDepth() {
+	if d := QueueDepth - m.slots.Available(); d > m.peakQueue {
+		m.peakQueue = d
+	}
+}
+
+// TagPending reports outstanding commands under a tag.
+func (m *MFC) TagPending(tag int) int { return m.tagPending[tag] }
+
+// WaitTag blocks until every command issued under tag has completed
+// (the mfc_write_tag_mask / mfc_read_tag_status_all idiom).
+func (m *MFC) WaitTag(p *sim.Proc, tag int) {
+	p.WaitFor(m.tagWait, func() bool { return m.tagPending[tag] == 0 })
+}
+
+// WaitTagMask blocks until all tags selected by mask (bit i = tag i) are
+// quiescent.
+func (m *MFC) WaitTagMask(p *sim.Proc, mask uint32) {
+	p.WaitFor(m.tagWait, func() bool {
+		for t := 0; t < NumTags; t++ {
+			if mask&(1<<uint(t)) != 0 && m.tagPending[t] > 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// WaitAll blocks until the command queue is fully drained.
+func (m *MFC) WaitAll(p *sim.Proc) { m.WaitTagMask(p, ^uint32(0)) }
+
+// Stats snapshot.
+type Stats struct {
+	Commands     uint64
+	ListCommands uint64
+	BytesIn      uint64
+	BytesOut     uint64
+	PeakQueue    int
+}
+
+// Stats returns cumulative counters.
+func (m *MFC) Stats() Stats {
+	return Stats{
+		Commands:     m.commands,
+		ListCommands: m.listCmds,
+		BytesIn:      m.bytesIn,
+		BytesOut:     m.bytesOut,
+		PeakQueue:    m.peakQueue,
+	}
+}

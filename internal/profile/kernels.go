@@ -1,0 +1,94 @@
+package profile
+
+import "sort"
+
+// Candidate is a proposed SPE kernel: a computation core method plus the
+// same-class methods clustered around it via call-graph edges (§3.2).
+type Candidate struct {
+	// Core is the qualified name of the most expensive method.
+	Core string
+	// Class is the owning class; the cluster never leaves it.
+	Class string
+	// Methods lists all cluster members (including Core), sorted.
+	Methods []string
+	// Coverage is the cluster's combined self-time share of the run.
+	Coverage float64
+}
+
+// IdentifyOptions tunes kernel identification.
+type IdentifyOptions struct {
+	// MinCoreCoverage is the self-coverage a method needs to seed a
+	// candidate (default 2%).
+	MinCoreCoverage float64
+	// MaxCandidates bounds the number of proposals (default 8, one per
+	// SPE).
+	MaxCandidates int
+}
+
+// IdentifyKernels proposes candidate kernels from a finished profile:
+// methods are ranked by self coverage; each sufficiently expensive method
+// seeds a cluster that grows along call-graph edges to other methods of
+// the same class (callers and callees), because same-class methods share
+// member data and port together cheaply. Each class yields at most one
+// candidate (its methods would share one wrapper).
+func (p *Profiler) IdentifyKernels(opts IdentifyOptions) []Candidate {
+	if opts.MinCoreCoverage <= 0 {
+		opts.MinCoreCoverage = 0.02
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 8
+	}
+	flat := p.Flat()
+	coverage := map[string]float64{}
+	class := map[string]string{}
+	for _, l := range flat {
+		coverage[l.Name] = l.Coverage
+		class[l.Name] = l.Class
+	}
+	// Adjacency restricted to same-class edges.
+	adj := map[string][]string{}
+	for _, e := range p.Edges() {
+		if class[e.Caller] == class[e.Callee] && e.Caller != e.Callee {
+			adj[e.Caller] = append(adj[e.Caller], e.Callee)
+			adj[e.Callee] = append(adj[e.Callee], e.Caller)
+		}
+	}
+	var out []Candidate
+	usedClass := map[string]bool{}
+	for _, l := range flat {
+		if len(out) >= opts.MaxCandidates {
+			break
+		}
+		if l.Coverage < opts.MinCoreCoverage || usedClass[l.Class] {
+			continue
+		}
+		// Flood-fill within the class from the core method.
+		seen := map[string]bool{l.Name: true}
+		queue := []string{l.Name}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		cand := Candidate{Core: l.Name, Class: l.Class}
+		for m := range seen {
+			cand.Methods = append(cand.Methods, m)
+			cand.Coverage += coverage[m]
+		}
+		sort.Strings(cand.Methods)
+		usedClass[l.Class] = true
+		out = append(out, cand)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Coverage != out[j].Coverage {
+			return out[i].Coverage > out[j].Coverage
+		}
+		return out[i].Core < out[j].Core
+	})
+	return out
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled occurrence: either a callback or a process resume.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: insertion order, keeps the engine deterministic
+	fn   func()
+	proc *Proc
+	idx  int // heap index (-1 when popped/cancelled)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	procs  map[*Proc]struct{} // all live (not yet terminated) processes
+	ready  chan signal        // process -> engine handshake
+	halted bool
+
+	// EventCount is the total number of events dispatched so far.
+	EventCount uint64
+}
+
+type signal struct{}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		procs: make(map[*Proc]struct{}),
+		ready: make(chan signal),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t (not before the current
+// time). Callbacks run in scheduling order among events with equal time.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.push(&event{at: t, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
+
+func (e *Engine) push(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.queue, ev)
+}
+
+func (e *Engine) cancel(ev *event) {
+	if ev.idx >= 0 {
+		heap.Remove(&e.queue, ev.idx)
+	}
+}
+
+// Run dispatches events until the queue is empty or the engine is halted.
+// It returns an error if live processes remain blocked with no pending
+// events (a simulated deadlock), listing the stuck processes.
+func (e *Engine) Run() error { return e.RunUntil(Never) }
+
+// RunUntil dispatches events with timestamp <= deadline. Reaching the
+// deadline with work left is not an error; an empty queue with blocked
+// processes is.
+func (e *Engine) RunUntil(deadline Time) error {
+	for !e.halted {
+		if len(e.queue) == 0 {
+			return e.checkQuiescent()
+		}
+		next := e.queue[0]
+		if next.at > deadline {
+			return nil
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.EventCount++
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.proc != nil:
+			e.resume(ev.proc)
+		}
+	}
+	return nil
+}
+
+// Halt stops the engine after the current event completes. Remaining
+// processes are abandoned in place; the engine must not be reused afterward.
+func (e *Engine) Halt() { e.halted = true }
+
+// checkQuiescent reports an error when blocked processes can never resume.
+func (e *Engine) checkQuiescent() error {
+	var stuck []string
+	for p := range e.procs {
+		if p.state == procBlocked {
+			stuck = append(stuck, fmt.Sprintf("%s (blocked on %s)", p.name, p.blockedOn))
+		}
+	}
+	if len(stuck) == 0 {
+		return nil
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock at %s: no events pending and %d process(es) blocked: %s",
+		e.now, len(stuck), strings.Join(stuck, "; "))
+}
+
+// resume hands control to p until it yields back.
+func (e *Engine) resume(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.resume <- signal{}
+	<-e.ready
+}

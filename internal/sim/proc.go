@@ -1,0 +1,211 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procBlocked // waiting on a Queue, no scheduled resume event
+	procSleeping
+	procDone
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with all other processes by the engine, one at a time, in virtual-time
+// order. All Proc methods must be called only from the process's own body.
+type Proc struct {
+	engine    *Engine
+	name      string
+	resume    chan signal
+	state     procState
+	blockedOn string
+	wake      *event // pending resume event, if sleeping
+
+	// interruptible wait support
+	waitingIn *Queue
+	waitPos   int
+}
+
+// Spawn creates a process that starts running at the current virtual time.
+// The body runs on its own goroutine but never concurrently with the engine
+// or another process.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{engine: e, name: name, resume: make(chan signal), state: procNew}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first dispatch
+		defer func() {
+			p.state = procDone
+			delete(e.procs, p)
+			e.ready <- signal{}
+		}()
+		body(p)
+	}()
+	e.push(&event{at: e.now, proc: p})
+	return p
+}
+
+// SpawnAt is Spawn with a delayed start.
+func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
+	if t < e.now {
+		t = e.now
+	}
+	p := &Proc{engine: e, name: name, resume: make(chan signal), state: procNew}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			p.state = procDone
+			delete(e.procs, p)
+			e.ready <- signal{}
+		}()
+		body(p)
+	}()
+	e.push(&event{at: t, proc: p})
+	return p
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.engine }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.engine.now }
+
+// yield parks the process and returns control to the engine. The caller
+// must have arranged for a future resume (scheduled event or queue entry).
+func (p *Proc) yield() {
+	p.engine.ready <- signal{}
+	<-p.resume
+	p.state = procRunning
+}
+
+// Sleep advances the process's virtual time by d. Non-positive durations
+// yield the processor without advancing time (other events at the current
+// instant run first).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.state = procSleeping
+	p.wake = &event{at: p.engine.now.Add(d), proc: p}
+	p.engine.push(p.wake)
+	p.yield()
+	p.wake = nil
+}
+
+// SleepUntil advances the process's virtual time to t (no-op if t has
+// passed).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.engine.now {
+		p.Yield()
+		return
+	}
+	p.Sleep(t.Sub(p.engine.now))
+}
+
+// Yield reschedules the process at the current instant, behind events
+// already pending at this time.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Queue is a FIFO wait queue for processes blocking on a condition owned by
+// some piece of simulated state (a mailbox slot, a DMA completion, ...).
+// The zero value is ready to use once Name is set (or via NewQueue).
+type Queue struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewQueue returns a wait queue labelled for deadlock reports.
+func NewQueue(name string) *Queue { return &Queue{name: name} }
+
+// Name returns the queue's label.
+func (q *Queue) Name() string { return q.name }
+
+// Len reports the number of blocked processes.
+func (q *Queue) Len() int { return len(q.waiters) }
+
+// Wait blocks the calling process until another process calls WakeOne or
+// WakeAll. Wait does not advance virtual time by itself; the wake-up occurs
+// at the waker's current time.
+func (p *Proc) Wait(q *Queue) {
+	p.state = procBlocked
+	p.blockedOn = q.name
+	p.waitingIn = q
+	q.waiters = append(q.waiters, p)
+	p.yield()
+	p.waitingIn = nil
+	p.blockedOn = ""
+}
+
+// WakeOne resumes the longest-waiting process, if any, scheduling it at the
+// current virtual time. It reports whether a process was woken.
+func (q *Queue) WakeOne(e *Engine) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	p.state = procSleeping
+	e.push(&event{at: e.now, proc: p})
+	return true
+}
+
+// WakeAll resumes every waiting process in FIFO order.
+func (q *Queue) WakeAll(e *Engine) int {
+	n := len(q.waiters)
+	for i := 0; i < n; i++ {
+		p := q.waiters[i]
+		p.state = procSleeping
+		e.push(&event{at: e.now, proc: p})
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}
+
+// WaitFor blocks until pred() is true, re-testing each time the queue is
+// woken. The predicate is evaluated before the first wait, so a condition
+// that already holds never blocks.
+func (p *Proc) WaitFor(q *Queue, pred func() bool) {
+	for !pred() {
+		p.Wait(q)
+	}
+}
+
+// WaitForTimeout is WaitFor with a deadline: it returns true as soon as
+// pred() holds, or false once d of virtual time elapses first. On timeout
+// the process is removed from the queue.
+func (p *Proc) WaitForTimeout(q *Queue, d Duration, pred func() bool) bool {
+	deadline := p.engine.now.Add(d)
+	expired := false
+	timer := p.engine.Schedule(deadline, func() {
+		expired = true
+		// Resume the process only if it is actually blocked on this
+		// queue; otherwise it is running and will observe `expired` at
+		// its next loop check.
+		for i, w := range q.waiters {
+			if w == p {
+				copy(q.waiters[i:], q.waiters[i+1:])
+				q.waiters = q.waiters[:len(q.waiters)-1]
+				p.state = procSleeping
+				p.engine.push(&event{at: p.engine.now, proc: p})
+				return
+			}
+		}
+	})
+	defer timer.Cancel()
+	for !pred() {
+		if expired || p.engine.now >= deadline {
+			return false
+		}
+		p.Wait(q)
+	}
+	return true
+}
+
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }

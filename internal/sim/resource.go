@@ -1,0 +1,49 @@
+package sim
+
+// Semaphore is a counting semaphore in virtual time. Acquire blocks the
+// calling process until a unit is available; Release never blocks.
+// Fairness is FIFO among blocked processes.
+type Semaphore struct {
+	engine *Engine
+	avail  int
+	cap    int
+	q      *Queue
+}
+
+// NewSemaphore returns a semaphore with the given number of units.
+func NewSemaphore(e *Engine, name string, units int) *Semaphore {
+	if units < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{engine: e, avail: units, cap: units, q: NewQueue(name)}
+}
+
+// Available reports the number of free units.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Cap reports the total number of units.
+func (s *Semaphore) Cap() int { return s.cap }
+
+// Acquire takes one unit, blocking in virtual time until one is free.
+func (s *Semaphore) Acquire(p *Proc) {
+	p.WaitFor(s.q, func() bool { return s.avail > 0 })
+	s.avail--
+}
+
+// TryAcquire takes a unit without blocking; it reports whether it succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail == 0 {
+		return false
+	}
+	s.avail--
+	return true
+}
+
+// Release returns one unit and wakes a blocked acquirer, if any.
+func (s *Semaphore) Release() {
+	if s.avail >= s.cap {
+		panic("sim: semaphore released above capacity: " + s.q.name)
+	}
+	s.avail++
+	s.q.WakeOne(s.engine)
+}

@@ -1,0 +1,54 @@
+package sim
+
+// Timer is a handle to a scheduled callback that can be cancelled or
+// rescheduled before it fires. It is the building block for models that
+// must revise a predicted completion time when conditions change (e.g. the
+// EIB bandwidth-sharing model reschedules transfer completions whenever a
+// transfer starts or ends).
+type Timer struct {
+	engine *Engine
+	ev     *event
+	fn     func()
+}
+
+// Schedule registers fn to run at absolute time t and returns a handle.
+func (e *Engine) Schedule(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	tm := &Timer{engine: e, fn: fn}
+	tm.ev = &event{at: t, fn: func() { tm.ev = nil; fn() }}
+	e.push(tm.ev)
+	return tm
+}
+
+// Cancel removes the pending callback. Cancelling a fired or already
+// cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t.ev != nil {
+		t.engine.cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Reschedule moves the pending callback to a new time (or re-arms a fired
+// timer with the original callback).
+func (t *Timer) Reschedule(at Time) {
+	t.Cancel()
+	if at < t.engine.now {
+		at = t.engine.now
+	}
+	t.ev = &event{at: at, fn: func() { t.ev = nil; t.fn() }}
+	t.engine.push(t.ev)
+}
+
+// Active reports whether the callback is still pending.
+func (t *Timer) Active() bool { return t.ev != nil }
+
+// When returns the pending fire time, or Never if inactive.
+func (t *Timer) When() Time {
+	if t.ev == nil {
+		return Never
+	}
+	return t.ev.at
+}

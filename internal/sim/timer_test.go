@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(Time(10), func() { fired = true })
+	if !tm.Active() || tm.When() != Time(10) {
+		t.Fatal("timer should be active at t=10")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(Time(10), func() { fired = true })
+	e.At(Time(5), func() { tm.Cancel() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	tm.Cancel() // double-cancel is a no-op
+	if tm.When() != Never {
+		t.Fatal("cancelled timer should report Never")
+	}
+}
+
+func TestTimerReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	tm := e.Schedule(Time(10), func() { at = e.Now() })
+	e.At(Time(5), func() { tm.Reschedule(Time(30)) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(30) {
+		t.Fatalf("fired at %v, want 30", at)
+	}
+}
+
+func TestTimerRearmAfterFire(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tm *Timer
+	tm = e.Schedule(Time(10), func() { count++ })
+	e.At(Time(20), func() { tm.Reschedule(Time(25)) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (re-armed timer fires again)", count)
+	}
+}

@@ -1,0 +1,258 @@
+// Package spe models a Synergistic Processing Element: an SPU executing a
+// loaded program against its 256 KB local store, with an MFC for DMA, the
+// three hardware mailboxes and two signal registers (§2). Programs are Go
+// functions that perform their real computation on local-store bytes and
+// charge virtual time through the Context's cost-model methods.
+package spe
+
+import (
+	"fmt"
+
+	"cellport/internal/cost"
+	"cellport/internal/eib"
+	"cellport/internal/ls"
+	"cellport/internal/mainmem"
+	"cellport/internal/mbox"
+	"cellport/internal/mfc"
+	"cellport/internal/sim"
+	"cellport/internal/trace"
+)
+
+// Program is an SPE executable: a code-image size (checked against the
+// local store) and an entry point.
+type Program struct {
+	// Name identifies the program in traces and errors.
+	Name string
+	// CodeBytes is the size of the program image in the local store.
+	CodeBytes uint32
+	// Main is the entry point; it runs as a simulated process. When Main
+	// returns, the SPE becomes idle and may be loaded again.
+	Main func(ctx *Context)
+}
+
+// SPE is one synergistic processing element.
+type SPE struct {
+	id     int
+	engine *sim.Engine
+	model  *cost.Model
+	tracer trace.Tracer
+
+	Store       *ls.LocalStore
+	MFC         *mfc.MFC
+	InMbox      *mbox.Mailbox // PPE -> SPU, 4 entries
+	OutMbox     *mbox.Mailbox // SPU -> PPE, 1 entry, polled
+	OutIntrMbox *mbox.Mailbox // SPU -> PPE, 1 entry, interrupting
+	Signal1     *mbox.Signal
+	Signal2     *mbox.Signal
+
+	running  bool
+	program  string
+	proc     *sim.Proc
+	doneQ    *sim.Queue
+	busyTime sim.Duration
+	dmaWait  sim.Duration
+	mboxWait sim.Duration
+}
+
+// New builds an SPE attached to the shared bus and main memory.
+func New(e *sim.Engine, id int, bus *eib.Bus, mem *mainmem.Memory, model *cost.Model, mfcCfg mfc.Config, tracer trace.Tracer) *SPE {
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	store := ls.New()
+	name := fmt.Sprintf("SPE%d", id)
+	return &SPE{
+		id:          id,
+		engine:      e,
+		model:       model,
+		tracer:      tracer,
+		Store:       store,
+		MFC:         mfc.New(e, bus, mem, store, eib.SPEPort(id), mfcCfg),
+		InMbox:      mbox.NewMailbox(e, name+" in-mbox", mbox.InboundDepth),
+		OutMbox:     mbox.NewMailbox(e, name+" out-mbox", mbox.OutboundDepth),
+		OutIntrMbox: mbox.NewMailbox(e, name+" out-intr-mbox", mbox.OutboundDepth),
+		Signal1:     mbox.NewSignal(e, name+" sig1", mbox.SignalOR),
+		Signal2:     mbox.NewSignal(e, name+" sig2", mbox.SignalOR),
+		doneQ:       sim.NewQueue(name + " done"),
+	}
+}
+
+// ID returns the SPE index.
+func (s *SPE) ID() int { return s.id }
+
+// Model returns the SPU cost model.
+func (s *SPE) Model() *cost.Model { return s.model }
+
+// Running reports whether a program is executing.
+func (s *SPE) Running() bool { return s.running }
+
+// BusyTime reports accumulated compute time.
+func (s *SPE) BusyTime() sim.Duration { return s.busyTime }
+
+// DMAWait reports accumulated time blocked on DMA tag completion.
+func (s *SPE) DMAWait() sim.Duration { return s.dmaWait }
+
+// MboxWait reports accumulated time blocked on mailboxes.
+func (s *SPE) MboxWait() sim.Duration { return s.mboxWait }
+
+// Load checks the program image against the local store, loads it, and
+// starts Main as a simulated thread (the spe_create_thread analog).
+func (s *SPE) Load(prog Program) error {
+	if s.running {
+		return fmt.Errorf("spe%d: already running %q", s.id, s.program)
+	}
+	if prog.Main == nil {
+		return fmt.Errorf("spe%d: program %q has no entry point", s.id, prog.Name)
+	}
+	if err := s.Store.LoadProgram(prog.CodeBytes); err != nil {
+		return fmt.Errorf("spe%d: loading %q: %w", s.id, prog.Name, err)
+	}
+	s.running = true
+	s.program = prog.Name
+	s.proc = s.engine.Spawn(fmt.Sprintf("SPE%d:%s", s.id, prog.Name), func(p *sim.Proc) {
+		ctx := &Context{spe: s, p: p}
+		prog.Main(ctx)
+		s.running = false
+		s.proc = nil
+		s.doneQ.WakeAll(s.engine)
+	})
+	return nil
+}
+
+// WaitStopped blocks p until the loaded program returns (the
+// spe_wait analog).
+func (s *SPE) WaitStopped(p *sim.Proc) {
+	p.WaitFor(s.doneQ, func() bool { return !s.running })
+}
+
+// Context is the execution environment handed to an SPE program's Main.
+// All methods must be called from within Main (they run on the program's
+// simulated process).
+type Context struct {
+	spe *SPE
+	p   *sim.Proc
+}
+
+// ID returns the hosting SPE's index.
+func (c *Context) ID() int { return c.spe.id }
+
+// Now returns the current virtual time.
+func (c *Context) Now() sim.Time { return c.p.Now() }
+
+// Proc exposes the underlying simulated process (for advanced waiting).
+func (c *Context) Proc() *sim.Proc { return c.p }
+
+// Store returns the SPE's local store.
+func (c *Context) Store() *ls.LocalStore { return c.spe.Store }
+
+// Model returns the SPU cost model (for kernels that charge derived
+// cycle counts directly).
+func (c *Context) Model() *cost.Model { return c.spe.model }
+
+// --- computation ------------------------------------------------------
+
+func (c *Context) charge(d sim.Duration, label string) {
+	if d <= 0 {
+		return
+	}
+	start := c.p.Now()
+	c.p.Sleep(d)
+	c.spe.busyTime += d
+	c.spe.tracer.Span(fmt.Sprintf("SPE%d", c.spe.id), start, c.p.Now(), trace.KindCompute, label)
+}
+
+// ComputeScalar charges time for n scalar operations on the SPU.
+func (c *Context) ComputeScalar(n float64, label string) {
+	c.charge(c.spe.model.ScalarOps(n), label)
+}
+
+// ComputeSIMD charges time for n element-operations vectorized at width w
+// with the given efficiency.
+func (c *Context) ComputeSIMD(n float64, w cost.Width, eff float64, label string) {
+	c.charge(c.spe.model.SIMDOps(n, w, eff), label)
+}
+
+// ComputeBranches charges misprediction stalls for n branches; a negative
+// rate uses the SPU default (static prediction).
+func (c *Context) ComputeBranches(n, mispredictRate float64, label string) {
+	c.charge(c.spe.model.Branches(n, mispredictRate), label)
+}
+
+// ComputeCycles charges raw cycles (for fixed-cost sequences).
+func (c *Context) ComputeCycles(cycles float64, label string) {
+	c.charge(c.spe.model.CyclesToDuration(cycles), label)
+}
+
+// --- mailboxes and signals --------------------------------------------
+
+// ReadInMbox blocks until the PPE writes a word (spu_read_in_mbox).
+func (c *Context) ReadInMbox() uint32 {
+	start := c.p.Now()
+	v := c.spe.InMbox.Read(c.p)
+	c.spe.mboxWait += c.p.Now().Sub(start)
+	return v
+}
+
+// WriteOutMbox posts a word to the polled outbound mailbox
+// (spu_write_out_mbox), blocking while it is full.
+func (c *Context) WriteOutMbox(v uint32) { c.spe.OutMbox.Write(c.p, v) }
+
+// WriteOutIntrMbox posts a word to the interrupting outbound mailbox
+// (spu_write_out_intr_mbox).
+func (c *Context) WriteOutIntrMbox(v uint32) { c.spe.OutIntrMbox.Write(c.p, v) }
+
+// ReadSignal1 blocks for and clears signal-notification register 1.
+func (c *Context) ReadSignal1() uint32 { return c.spe.Signal1.Read(c.p) }
+
+// ReadSignal2 blocks for and clears signal-notification register 2.
+func (c *Context) ReadSignal2() uint32 { return c.spe.Signal2.Read(c.p) }
+
+// --- DMA ---------------------------------------------------------------
+
+// Get enqueues a main-memory -> LS DMA under tag.
+func (c *Context) Get(lsa ls.Addr, ea mainmem.Addr, size uint32, tag int) error {
+	return c.spe.MFC.Get(c.p, lsa, ea, size, tag)
+}
+
+// Put enqueues an LS -> main-memory DMA under tag.
+func (c *Context) Put(lsa ls.Addr, ea mainmem.Addr, size uint32, tag int) error {
+	return c.spe.MFC.Put(c.p, lsa, ea, size, tag)
+}
+
+// GetList enqueues a gather DMA list under tag.
+func (c *Context) GetList(lsa ls.Addr, list []mfc.ListElement, tag int) error {
+	return c.spe.MFC.GetList(c.p, lsa, list, tag)
+}
+
+// PutList enqueues a scatter DMA list under tag.
+func (c *Context) PutList(lsa ls.Addr, list []mfc.ListElement, tag int) error {
+	return c.spe.MFC.PutList(c.p, lsa, list, tag)
+}
+
+// WaitTag blocks until tag's commands complete, accounting the stall.
+func (c *Context) WaitTag(tag int) {
+	start := c.p.Now()
+	c.spe.MFC.WaitTag(c.p, tag)
+	if d := c.p.Now().Sub(start); d > 0 {
+		c.spe.dmaWait += d
+		c.spe.tracer.Span(fmt.Sprintf("SPE%d", c.spe.id), start, c.p.Now(), trace.KindDMA, "tag-wait")
+	}
+}
+
+// WaitTagMask blocks until all tags in mask complete.
+func (c *Context) WaitTagMask(mask uint32) {
+	start := c.p.Now()
+	c.spe.MFC.WaitTagMask(c.p, mask)
+	if d := c.p.Now().Sub(start); d > 0 {
+		c.spe.dmaWait += d
+	}
+}
+
+// WaitAllDMA drains the MFC queue.
+func (c *Context) WaitAllDMA() {
+	start := c.p.Now()
+	c.spe.MFC.WaitAll(c.p)
+	if d := c.p.Now().Sub(start); d > 0 {
+		c.spe.dmaWait += d
+	}
+}

@@ -1,0 +1,92 @@
+package svm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is the k-nearest-neighbour classifier MARVEL offers as an
+// alternative statistical classification method (§5.1 lists "Support
+// Vector Machines (SVMs), k-nearest neighbor search (kNN), etc."). It
+// shares the feature-vector representation with the SVM models so either
+// can back concept detection.
+type KNN struct {
+	// Concept names the semantic concept.
+	Concept string
+	// K is the neighbourhood size (odd values avoid ties).
+	K int
+	// Examples holds the training vectors; Labels their +1/-1 classes.
+	Examples [][]float32
+	Labels   []int
+}
+
+// NewKNN builds a validated classifier.
+func NewKNN(concept string, k int, examples [][]float32, labels []int) (*KNN, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("svm: kNN needs k > 0, got %d", k)
+	}
+	if len(examples) == 0 || len(examples) != len(labels) {
+		return nil, fmt.Errorf("svm: kNN training set mismatch (%d examples, %d labels)",
+			len(examples), len(labels))
+	}
+	if k > len(examples) {
+		return nil, fmt.Errorf("svm: k=%d exceeds %d examples", k, len(examples))
+	}
+	dim := len(examples[0])
+	for i, e := range examples {
+		if len(e) != dim {
+			return nil, fmt.Errorf("svm: kNN example %d has dim %d, want %d", i, len(e), dim)
+		}
+	}
+	for i, l := range labels {
+		if l != 1 && l != -1 {
+			return nil, fmt.Errorf("svm: kNN label %d is %d, want +1/-1", i, l)
+		}
+	}
+	return &KNN{Concept: concept, K: k, Examples: examples, Labels: labels}, nil
+}
+
+// Dim returns the feature dimension.
+func (k *KNN) Dim() int { return len(k.Examples[0]) }
+
+// Decision returns the mean label of the K nearest examples (in squared
+// Euclidean distance), a value in [-1, 1]; > 0 means the concept is
+// detected. Ties in distance break deterministically by example index.
+func (k *KNN) Decision(x []float32) float64 {
+	if len(x) != k.Dim() {
+		panic(fmt.Sprintf("svm: kNN input dim %d, want %d", len(x), k.Dim()))
+	}
+	type cand struct {
+		d2  float64
+		idx int
+	}
+	cands := make([]cand, len(k.Examples))
+	for i, e := range k.Examples {
+		var d2 float64
+		for j := range e {
+			d := float64(e[j]) - float64(x[j])
+			d2 += d * d
+		}
+		cands[i] = cand{d2, i}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d2 != cands[b].d2 {
+			return cands[a].d2 < cands[b].d2
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	sum := 0
+	for _, c := range cands[:k.K] {
+		sum += k.Labels[c.idx]
+	}
+	return float64(sum) / float64(k.K)
+}
+
+// Classify reports whether x is detected as the concept.
+func (k *KNN) Classify(x []float32) bool { return k.Decision(x) > 0 }
+
+// DetectOps returns the nominal operation count of one classification
+// (distance per example: 3 ops/dim; selection ~log cost folded in).
+func (k *KNN) DetectOps() float64 {
+	return float64(len(k.Examples)) * (3*float64(k.Dim()) + 10)
+}

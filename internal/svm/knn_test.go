@@ -1,0 +1,127 @@
+package svm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func knnSet() ([][]float32, []int) {
+	return [][]float32{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{3, 3}, {3.1, 3}, {3, 3.1},
+	}, []int{-1, -1, -1, 1, 1, 1}
+}
+
+func TestKNNValidation(t *testing.T) {
+	x, y := knnSet()
+	if _, err := NewKNN("c", 0, x, y); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKNN("c", 3, nil, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewKNN("c", 7, x, y); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := NewKNN("c", 3, x, y[:5]); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	bad := append([][]float32{}, x...)
+	bad[2] = []float32{1}
+	if _, err := NewKNN("c", 3, bad, y); err == nil {
+		t.Error("ragged examples accepted")
+	}
+	badY := append([]int{}, y...)
+	badY[0] = 2
+	if _, err := NewKNN("c", 3, x, badY); err == nil {
+		t.Error("label 2 accepted")
+	}
+}
+
+func TestKNNClassifiesClusters(t *testing.T) {
+	x, y := knnSet()
+	k, err := NewKNN("c", 3, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Classify([]float32{0.05, 0.05}) {
+		t.Error("near-origin point misclassified as positive")
+	}
+	if !k.Classify([]float32{2.9, 3.2}) {
+		t.Error("near-cluster point misclassified as negative")
+	}
+	if d := k.Decision([]float32{0, 0}); d != -1 {
+		t.Errorf("unanimous decision = %v, want -1", d)
+	}
+}
+
+func TestKNNDecisionRange(t *testing.T) {
+	x, y := knnSet()
+	k, err := NewKNN("c", 5, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b int8) bool {
+		d := k.Decision([]float32{float32(a) / 16, float32(b) / 16})
+		return d >= -1 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNDimCheckPanics(t *testing.T) {
+	x, y := knnSet()
+	k, _ := NewKNN("c", 1, x, y)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Decision([]float32{1, 2, 3})
+}
+
+func TestKNNDeterministicTieBreak(t *testing.T) {
+	// Two examples at identical distance with different labels: the lower
+	// index must win deterministically.
+	x := [][]float32{{1, 0}, {-1, 0}, {5, 5}}
+	y := []int{1, -1, -1}
+	k, err := NewKNN("c", 1, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !k.Classify([]float32{0, 0}) {
+			t.Fatal("tie break not deterministic toward index 0")
+		}
+	}
+}
+
+func TestKNNDetectOps(t *testing.T) {
+	x, y := knnSet()
+	k, _ := NewKNN("c", 3, x, y)
+	if got, want := k.DetectOps(), 6.0*(3*2+10); got != want {
+		t.Fatalf("DetectOps = %v, want %v", got, want)
+	}
+}
+
+// TestKNNAgreesWithSVMOnSeparableData: both available classifiers must
+// make the same calls on cleanly separated data — the property that lets
+// MARVEL swap classification methods (§5.1).
+func TestKNNAgreesWithSVMOnSeparableData(t *testing.T) {
+	x, y := separableSet()
+	k, err := NewKNN("c", 3, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train("c", x, y, RBF{Gamma: 1}, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := [][]float32{{0.02, 0.02}, {3.05, 3.05}, {-0.5, 0}, {4, 3.5}}
+	for _, p := range probes {
+		if k.Classify(p) != m.Classify(p) {
+			t.Errorf("kNN and SVM disagree on %v", p)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainConfig controls the SMO trainer.
+type TrainConfig struct {
+	// C is the soft-margin penalty (>0).
+	C float64
+	// Tol is the KKT violation tolerance.
+	Tol float64
+	// MaxPasses is the number of full passes without any alpha update
+	// before the trainer declares convergence.
+	MaxPasses int
+	// MaxIter bounds total optimization sweeps (safety valve).
+	MaxIter int
+	// Seed drives the deterministic partner-selection sequence.
+	Seed uint64
+}
+
+// DefaultTrainConfig returns settings adequate for the small synthetic
+// training sets used here.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{C: 1.0, Tol: 1e-3, MaxPasses: 5, MaxIter: 10000, Seed: 1}
+}
+
+// Train fits a binary SVM with the simplified SMO algorithm (Platt 1998 in
+// the simplified form): labels must be +1/-1. The returned model keeps
+// only the support vectors (alpha > 0). Training is deterministic for a
+// given seed.
+func Train(concept string, x [][]float32, y []int, k Kernel, cfg TrainConfig) (*Model, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("svm: training set size mismatch (%d samples, %d labels)", n, len(y))
+	}
+	hasPos, hasNeg := false, false
+	for _, label := range y {
+		switch label {
+		case 1:
+			hasPos = true
+		case -1:
+			hasNeg = true
+		default:
+			return nil, fmt.Errorf("svm: labels must be +1/-1, got %d", label)
+		}
+	}
+	if !hasPos || !hasNeg {
+		return nil, fmt.Errorf("svm: training needs both classes")
+	}
+	if cfg.C <= 0 {
+		return nil, fmt.Errorf("svm: C must be positive")
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("svm: sample %d has dim %d, want %d", i, len(xi), dim)
+		}
+	}
+
+	// Precompute the kernel matrix (training sets here are small).
+	km := make([][]float64, n)
+	for i := range km {
+		km[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := k.Eval(x[i], x[j])
+			km[i][j] = v
+			km[j][i] = v
+		}
+	}
+
+	alpha := make([]float64, n)
+	b := 0.0
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alpha[j] > 0 {
+				s += alpha[j] * float64(y[j]) * km[i][j]
+			}
+		}
+		return s
+	}
+
+	rng := cfg.Seed
+	nextJ := func(i int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		j := int(rng % uint64(n))
+		if j == i {
+			j = (j + 1) % n
+		}
+		return j
+	}
+
+	passes, iter := 0, 0
+	for passes < cfg.MaxPasses && iter < cfg.MaxIter {
+		iter++
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - float64(y[i])
+			if !((float64(y[i])*ei < -cfg.Tol && alpha[i] < cfg.C) ||
+				(float64(y[i])*ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := nextJ(i)
+			ej := f(j) - float64(y[j])
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cfg.C, cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cfg.C)
+				hi = math.Min(cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*km[i][j] - km[i][i] - km[j][j]
+			if eta >= 0 {
+				continue
+			}
+			alpha[j] = aj - float64(y[j])*(ei-ej)/eta
+			if alpha[j] > hi {
+				alpha[j] = hi
+			}
+			if alpha[j] < lo {
+				alpha[j] = lo
+			}
+			if math.Abs(alpha[j]-aj) < 1e-7 {
+				continue
+			}
+			alpha[i] = ai + float64(y[i]*y[j])*(aj-alpha[j])
+			b1 := b - ei - float64(y[i])*(alpha[i]-ai)*km[i][i] - float64(y[j])*(alpha[j]-aj)*km[i][j]
+			b2 := b - ej - float64(y[i])*(alpha[i]-ai)*km[i][j] - float64(y[j])*(alpha[j]-aj)*km[j][j]
+			switch {
+			case alpha[i] > 0 && alpha[i] < cfg.C:
+				b = b1
+			case alpha[j] > 0 && alpha[j] < cfg.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	m := &Model{Concept: concept, Kernel: k, Bias: b}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-9 {
+			m.SupportVectors = append(m.SupportVectors, x[i])
+			m.Coeffs = append(m.Coeffs, alpha[i]*float64(y[i]))
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("svm: training produced invalid model: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,180 @@
+// Package trace records per-core activity spans (compute, DMA wait,
+// mailbox wait, idle) during a simulation and renders them as a textual
+// Gantt chart — the view the paper's Figure 4 sketches for the sequential
+// and parallel schedules.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cellport/internal/sim"
+)
+
+// Kind classifies a span for rendering and accounting.
+type Kind byte
+
+// Span kinds.
+const (
+	KindCompute Kind = 'C'
+	KindDMA     Kind = 'D'
+	KindWait    Kind = '.'
+	KindIO      Kind = 'I'
+)
+
+// Tracer receives activity spans. Implementations must be cheap; they run
+// inside the simulation.
+type Tracer interface {
+	Span(lane string, start, end sim.Time, kind Kind, label string)
+}
+
+// Nop discards all spans.
+type Nop struct{}
+
+// Span implements Tracer.
+func (Nop) Span(string, sim.Time, sim.Time, Kind, string) {}
+
+// Recorder accumulates spans for later rendering and accounting.
+type Recorder struct {
+	spans []Span
+}
+
+// Span is one recorded activity interval.
+type Span struct {
+	Lane       string
+	Start, End sim.Time
+	Kind       Kind
+	Label      string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Span implements Tracer.
+func (r *Recorder) Span(lane string, start, end sim.Time, kind Kind, label string) {
+	if end < start {
+		start, end = end, start
+	}
+	r.spans = append(r.spans, Span{Lane: lane, Start: start, End: end, Kind: kind, Label: label})
+}
+
+// Spans returns all recorded spans in recording order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// BusyTime sums span durations of the given kind per lane.
+func (r *Recorder) BusyTime(kind Kind) map[string]sim.Duration {
+	out := map[string]sim.Duration{}
+	for _, s := range r.spans {
+		if s.Kind == kind {
+			out[s.Lane] += s.End.Sub(s.Start)
+		}
+	}
+	return out
+}
+
+// Clip returns a new recorder holding only the parts of spans that
+// intersect [start, end] — useful to zoom a Gantt chart into one phase
+// (e.g. past an application's one-time setup).
+func (r *Recorder) Clip(start, end sim.Time) *Recorder {
+	out := NewRecorder()
+	for _, s := range r.spans {
+		if s.End <= start || s.Start >= end {
+			continue
+		}
+		c := s
+		if c.Start < start {
+			c.Start = start
+		}
+		if c.End > end {
+			c.End = end
+		}
+		out.spans = append(out.spans, c)
+	}
+	return out
+}
+
+// Lanes returns the sorted set of lane names.
+func (r *Recorder) Lanes() []string {
+	set := map[string]bool{}
+	for _, s := range r.spans {
+		set[s.Lane] = true
+	}
+	lanes := make([]string, 0, len(set))
+	for l := range set {
+		lanes = append(lanes, l)
+	}
+	sort.Strings(lanes)
+	return lanes
+}
+
+// Gantt renders an ASCII Gantt chart with the given number of columns.
+// Each cell shows the kind of the activity dominating that time slot.
+func (r *Recorder) Gantt(w io.Writer, columns int) error {
+	if columns < 10 {
+		columns = 10
+	}
+	var tMin, tMax sim.Time = sim.Never, 0
+	for _, s := range r.spans {
+		if s.Start < tMin {
+			tMin = s.Start
+		}
+		if s.End > tMax {
+			tMax = s.End
+		}
+	}
+	if len(r.spans) == 0 || tMax <= tMin {
+		_, err := fmt.Fprintln(w, "trace: no spans recorded")
+		return err
+	}
+	span := tMax.Sub(tMin)
+	lanes := r.Lanes()
+	width := 0
+	for _, l := range lanes {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for _, lane := range lanes {
+		row := make([]float64, columns) // accumulated busy fraction per cell
+		kinds := make([]Kind, columns)
+		for _, s := range r.spans {
+			if s.Lane != lane || s.Kind == KindWait {
+				continue
+			}
+			f0 := float64(s.Start.Sub(tMin)) / float64(span) * float64(columns)
+			f1 := float64(s.End.Sub(tMin)) / float64(span) * float64(columns)
+			for c := int(f0); c < columns && float64(c) < f1; c++ {
+				lo, hi := f0, f1
+				if lo < float64(c) {
+					lo = float64(c)
+				}
+				if hi > float64(c+1) {
+					hi = float64(c + 1)
+				}
+				if hi > lo {
+					row[c] += hi - lo
+					kinds[c] = s.Kind
+				}
+			}
+		}
+		var b strings.Builder
+		for c := 0; c < columns; c++ {
+			switch {
+			case row[c] == 0:
+				b.WriteByte(' ')
+			case row[c] < 0.5:
+				b.WriteByte('-')
+			default:
+				b.WriteByte(byte(kinds[c]))
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", width, lane, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %s .. %s  (C=compute D=dma I=io -=partial)\n",
+		width, "", tMin, tMax)
+	return err
+}

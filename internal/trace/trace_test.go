@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cellport/internal/sim"
+)
+
+func TestNopDiscards(t *testing.T) {
+	var n Nop
+	n.Span("x", 0, 10, KindCompute, "ok") // must not panic
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.Span("PPE", 0, sim.Time(10*sim.Microsecond), KindCompute, "a")
+	r.Span("SPE0", sim.Time(5*sim.Microsecond), sim.Time(15*sim.Microsecond), KindDMA, "b")
+	r.Span("PPE", sim.Time(12*sim.Microsecond), sim.Time(20*sim.Microsecond), KindIO, "c")
+	if len(r.Spans()) != 3 {
+		t.Fatalf("spans = %d", len(r.Spans()))
+	}
+	lanes := r.Lanes()
+	if len(lanes) != 2 || lanes[0] != "PPE" || lanes[1] != "SPE0" {
+		t.Fatalf("lanes = %v", lanes)
+	}
+	busy := r.BusyTime(KindCompute)
+	if busy["PPE"] != 10*sim.Microsecond {
+		t.Fatalf("PPE compute = %v", busy["PPE"])
+	}
+	if busy["SPE0"] != 0 {
+		t.Fatalf("SPE0 compute = %v, want 0 (span is DMA)", busy["SPE0"])
+	}
+}
+
+func TestSpanSwapsReversedEndpoints(t *testing.T) {
+	r := NewRecorder()
+	r.Span("L", sim.Time(20), sim.Time(10), KindCompute, "rev")
+	s := r.Spans()[0]
+	if s.Start != 10 || s.End != 20 {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+func TestClip(t *testing.T) {
+	r := NewRecorder()
+	r.Span("L", 0, 100, KindCompute, "long")
+	r.Span("L", 200, 300, KindCompute, "late")
+	c := r.Clip(50, 250)
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("clipped spans = %d", len(spans))
+	}
+	if spans[0].Start != 50 || spans[0].End != 100 {
+		t.Fatalf("clip[0] = %+v", spans[0])
+	}
+	if spans[1].Start != 200 || spans[1].End != 250 {
+		t.Fatalf("clip[1] = %+v", spans[1])
+	}
+	if got := r.Clip(400, 500).Spans(); len(got) != 0 {
+		t.Fatalf("out-of-window clip kept %d spans", len(got))
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	r := NewRecorder()
+	r.Span("PPE", 0, sim.Time(50*sim.Microsecond), KindIO, "io")
+	r.Span("PPE", sim.Time(50*sim.Microsecond), sim.Time(100*sim.Microsecond), KindCompute, "c")
+	r.Span("SPE0", sim.Time(60*sim.Microsecond), sim.Time(90*sim.Microsecond), KindCompute, "k")
+	var sb strings.Builder
+	if err := r.Gantt(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, needle := range []string{"PPE", "SPE0", "I", "C"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("gantt missing %q:\n%s", needle, out)
+		}
+	}
+	// The PPE line must show I before C.
+	ppeLine := strings.Split(out, "\n")[0]
+	if strings.Index(ppeLine, "I") > strings.Index(ppeLine, "C") {
+		t.Errorf("I should precede C on the PPE lane: %s", ppeLine)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRecorder().Gantt(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Fatalf("empty gantt output: %s", sb.String())
+	}
+}
+
+func TestGanttMinimumColumns(t *testing.T) {
+	r := NewRecorder()
+	r.Span("L", 0, sim.Time(sim.Microsecond), KindCompute, "x")
+	var sb strings.Builder
+	if err := r.Gantt(&sb, 1); err != nil { // clamps to 10
+		t.Fatal(err)
+	}
+	line := strings.Split(sb.String(), "\n")[0]
+	if len(line) < 10 {
+		t.Fatalf("line too short: %q", line)
+	}
+}
+
+func TestWaitSpansExcludedFromGanttBars(t *testing.T) {
+	r := NewRecorder()
+	r.Span("L", 0, sim.Time(100), KindWait, "idle")
+	var sb strings.Builder
+	if err := r.Gantt(&sb, 20); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Split(sb.String(), "\n")[0], string(rune(KindWait))) &&
+		strings.Contains(sb.String(), "|.") {
+		t.Error("wait spans should render blank")
+	}
+}
