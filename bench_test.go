@@ -17,16 +17,13 @@ import (
 	"cellport/internal/marvel"
 )
 
-// benchWorkload keeps benches fast while preserving full-width DMA rows.
-func benchWorkload(n int) marvel.Workload {
-	return marvel.Workload{Images: n, W: 352, H: 96, Seed: 13}
-}
+// benchCfg shares the experiment package's workload sizing (Quick frames
+// keep benches fast while preserving full-width DMA rows).
+var benchCfg = experiments.Config{Quick: true, Seed: 13}
 
-func benchMachine() *cell.Config {
-	cfg := cell.DefaultConfig()
-	cfg.MemorySize = 64 << 20
-	return &cfg
-}
+func benchWorkload(n int) marvel.Workload { return benchCfg.Workload(n) }
+
+func benchMachine() *cell.Config { return experiments.MachineConfig() }
 
 // --- Table 1: per-kernel PPE vs optimized SPE ---------------------------
 
@@ -134,6 +131,10 @@ func BenchmarkFig6SPE(b *testing.B)     { BenchmarkTable1Kernels(b) }
 
 // --- Figure 7: application scenarios ---------------------------------------
 
+// benchScenario measures wall throughput with b.RunParallel: every
+// iteration is an independent simulation with a private engine, and the
+// virtual-time metrics are deterministic, so they are computed once
+// upfront and only the run itself is timed across goroutines.
 func benchScenario(b *testing.B, scen marvel.Scenario, images int) {
 	w := benchWorkload(images)
 	ms, err := marvel.NewModelSet(w.Seed)
@@ -141,23 +142,46 @@ func benchScenario(b *testing.B, scen marvel.Scenario, images int) {
 		b.Fatal(err)
 	}
 	ref := marvel.RunReference(cost.NewDesktop(), w, ms)
-	var ported *marvel.PortedResult
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ported, err = marvel.RunPorted(marvel.PortedConfig{
-			Workload:      w,
-			Scenario:      scen,
-			Variant:       marvel.Optimized,
-			MachineConfig: benchMachine(),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+	pc := marvel.PortedConfig{
+		Workload:      w,
+		Scenario:      scen,
+		Variant:       marvel.Optimized,
+		MachineConfig: benchMachine(),
 	}
+	ported, err := marvel.RunPorted(pc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := marvel.RunPorted(pc); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 	b.StopTimer()
 	b.ReportMetric(ported.PerImage.Microseconds(), "vtime_us_per_image")
 	b.ReportMetric(ref.PerImage.Seconds()/ported.PerImage.Seconds(), "speedup_vs_desktop")
 }
+
+// benchFig7Grid runs the whole Figure 7 experiment (3 hosts + 3 scenarios
+// × set sizes) through the experiment harness at a fixed worker count.
+// Comparing Seq vs Parallel on a multicore host shows the wall-time win
+// of the worker pool; the virtual-time results are identical either way.
+func benchFig7Grid(b *testing.B, workers int) {
+	cfg := benchCfg
+	cfg.Parallel = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7GridSeq(b *testing.B)      { benchFig7Grid(b, 1) }
+func BenchmarkFig7GridParallel(b *testing.B) { benchFig7Grid(b, 0) }
 
 func BenchmarkFig7SingleSPE1(b *testing.B)  { benchScenario(b, marvel.SingleSPE, 1) }
 func BenchmarkFig7SingleSPE4(b *testing.B)  { benchScenario(b, marvel.SingleSPE, 4) }
@@ -227,17 +251,23 @@ func BenchmarkAblationPollVsInterrupt(b *testing.B) {
 
 func benchDataParallel(b *testing.B, id marvel.KernelID, n int) {
 	w := benchWorkload(1)
-	var res *marvel.DataParallelResult
-	var err error
-	for i := 0; i < b.N; i++ {
-		res, err = marvel.RunDataParallelExtraction(id, n, w, marvel.Optimized, benchMachine())
-		if err != nil {
-			b.Fatal(err)
-		}
+	res, err := marvel.RunDataParallelExtraction(id, n, w, marvel.Optimized, benchMachine())
+	if err != nil {
+		b.Fatal(err)
 	}
 	if !res.Matches {
 		b.Fatal("merged feature differs from reference")
 	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := marvel.RunDataParallelExtraction(id, n, w, marvel.Optimized, benchMachine()); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
 	b.ReportMetric(res.Time.Microseconds(), "vtime_us")
 }
 

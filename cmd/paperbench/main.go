@@ -10,6 +10,13 @@
 //	paperbench -exp naive        # §5.3 pre-optimization speed-ups
 //	paperbench -exp hosts        # §5.2 reference-machine ratios
 //	paperbench -quick            # reduced frames/sets for a fast pass
+//	paperbench -parallel 4       # worker pool for independent runs
+//	paperbench -json out.json    # machine-readable sidecar ("-" = stdout)
+//
+// Independent simulation runs fan out over -parallel workers (default:
+// GOMAXPROCS); virtual-time results are identical at any setting. The
+// -json file records per-experiment host wall time alongside the
+// virtual-time data, so successive checkouts can track a perf trajectory.
 package main
 
 import (
@@ -17,41 +24,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"cellport/internal/experiments"
 )
 
+// jsonEntry is one experiment's machine-readable record.
+type jsonEntry struct {
+	WallMS float64 `json:"wall_ms"`
+	Data   any     `json:"data"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead")
 	quick := flag.Bool("quick", false, "reduced frame size and image sets")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	jsonPath := flag.String("json", "", "write machine-readable results to this path (\"-\" for stdout)")
 	seed := flag.Uint64("seed", 20070710, "workload seed")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel}
 	out := os.Stdout
-	jsonDoc := map[string]any{}
+	tables := *jsonPath != "-" // "-" routes JSON to stdout instead of tables
+	jsonDoc := map[string]jsonEntry{}
+	start := time.Now()
+	matched := false
 
 	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if !*asJSON {
+		matched = true
+		if tables {
 			fmt.Fprintf(out, "==== %s ", name)
 			for i := len(name); i < 68; i++ {
 				fmt.Fprint(out, "=")
 			}
 			fmt.Fprintln(out)
 		}
+		t0 := time.Now()
 		data, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		if *asJSON {
-			jsonDoc[name] = data
-		} else {
+		jsonDoc[name] = jsonEntry{WallMS: float64(time.Since(t0).Microseconds()) / 1000, Data: data}
+		if tables {
 			fmt.Fprintln(out)
+		}
+	}
+
+	render := func(draw func()) {
+		if tables {
+			draw()
 		}
 	}
 
@@ -60,9 +86,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderTable1(out, rows)
-		}
+		render(func() { experiments.RenderTable1(out, rows) })
 		return rows, nil
 	})
 	run("naive", func() (any, error) {
@@ -70,9 +94,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderNaive(out, rows)
-		}
+		render(func() { experiments.RenderNaive(out, rows) })
 		return rows, nil
 	})
 	run("fig6", func() (any, error) {
@@ -80,9 +102,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderFig6(out, rows)
-		}
+		render(func() { experiments.RenderFig6(out, rows) })
 		return rows, nil
 	})
 	run("fig7", func() (any, error) {
@@ -90,9 +110,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderFig7(out, r)
-		}
+		render(func() { experiments.RenderFig7(out, r) })
 		return r, nil
 	})
 	run("eqns", func() (any, error) {
@@ -100,9 +118,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderEqns(out, r)
-		}
+		render(func() { experiments.RenderEqns(out, r) })
 		return r, nil
 	})
 	run("profile", func() (any, error) {
@@ -110,9 +126,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderProfile(out, r)
-		}
+		render(func() { experiments.RenderProfile(out, r) })
 		return r, nil
 	})
 	run("hosts", func() (any, error) {
@@ -120,9 +134,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderHosts(out, r)
-		}
+		render(func() { experiments.RenderHosts(out, r) })
 		return r, nil
 	})
 	run("scaling", func() (any, error) {
@@ -130,9 +142,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderScaling(out, rows)
-		}
+		render(func() { experiments.RenderScaling(out, rows) })
 		return rows, nil
 	})
 	run("pipeline", func() (any, error) {
@@ -140,9 +150,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderPipeline(out, rows)
-		}
+		render(func() { experiments.RenderPipeline(out, rows) })
 		return rows, nil
 	})
 	run("overhead", func() (any, error) {
@@ -150,18 +158,47 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		if !*asJSON {
-			experiments.RenderOverhead(out, rows)
-		}
+		render(func() { experiments.RenderOverhead(out, rows) })
 		return rows, nil
 	})
 
-	if *asJSON {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonDoc); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: encoding JSON: %v\n", err)
+	if !matched {
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (see -exp in -help)\n", *exp)
+		os.Exit(2)
+	}
+
+	if *jsonPath == "" {
+		return
+	}
+	doc := struct {
+		Config struct {
+			Quick    bool   `json:"quick"`
+			Seed     uint64 `json:"seed"`
+			Parallel int    `json:"parallel"`
+			MaxProcs int    `json:"gomaxprocs"`
+		} `json:"config"`
+		TotalWallMS float64              `json:"total_wall_ms"`
+		Experiments map[string]jsonEntry `json:"experiments"`
+	}{TotalWallMS: float64(time.Since(start).Microseconds()) / 1000, Experiments: jsonDoc}
+	doc.Config.Quick = *quick
+	doc.Config.Seed = *seed
+	doc.Config.Parallel = *parallel
+	doc.Config.MaxProcs = runtime.GOMAXPROCS(0)
+
+	dst := os.Stdout
+	if *jsonPath != "-" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: encoding JSON: %v\n", err)
+		os.Exit(1)
 	}
 }

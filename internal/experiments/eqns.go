@@ -98,23 +98,10 @@ func Eqns(cfg Config) (*EqnsResult, error) {
 		return nil, err
 	}
 
-	// Measurements: per-image application speed-up over the PPE.
-	measure := func(s marvel.Scenario) (float64, error) {
-		if s == marvel.SingleSPE {
-			return ref.PerImage.Seconds() / single.PerImage.Seconds(), nil
-		}
-		ported, err := marvel.RunPorted(marvel.PortedConfig{
-			Workload:      cfg.workload(1),
-			Scenario:      s,
-			Variant:       marvel.Optimized,
-			MachineConfig: machineConfig(),
-		})
-		if err != nil {
-			return 0, err
-		}
-		return ref.PerImage.Seconds() / ported.PerImage.Seconds(), nil
-	}
-	for _, sc := range []struct {
+	// Measurements: per-image application speed-up over the PPE. The two
+	// parallel-scenario runs are independent simulations, so they go
+	// through the worker pool.
+	scenarios := []struct {
 		name string
 		s    marvel.Scenario
 		est  float64
@@ -122,11 +109,27 @@ func Eqns(cfg Config) (*EqnsResult, error) {
 		{"scenario1/single-SPE (Eq.2)", marvel.SingleSPE, est1},
 		{"scenario2/multi-SPE (Eq.3)", marvel.MultiSPE, est2},
 		{"scenario3/multi-SPE2 (Eq.3 lanes)", marvel.MultiSPE2, est3},
-	} {
-		m, err := measure(sc.s)
-		if err != nil {
-			return nil, err
+	}
+	measured, err := RunIndexed(cfg.workers(), len(scenarios), func(i int) (float64, error) {
+		if scenarios[i].s == marvel.SingleSPE {
+			return ref.PerImage.Seconds() / single.PerImage.Seconds(), nil
 		}
+		ported, err := marvel.RunPorted(marvel.PortedConfig{
+			Workload:      cfg.Workload(1),
+			Scenario:      scenarios[i].s,
+			Variant:       marvel.Optimized,
+			MachineConfig: MachineConfig(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return ref.PerImage.Seconds() / ported.PerImage.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		m := measured[i]
 		res.Scenarios = append(res.Scenarios, ScenarioCheck{
 			Name:      sc.name,
 			Estimate:  sc.est,

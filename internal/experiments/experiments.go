@@ -21,12 +21,19 @@ type Config struct {
 	// configuration uses the paper's 352×240 frames and 1/10/50 sets.
 	Quick bool
 	Seed  uint64
+	// Parallel bounds the worker pool used for independent simulation
+	// runs: 0 (the default) means GOMAXPROCS, 1 forces the sequential
+	// path. Virtual-time results are identical at any setting; only host
+	// wall time changes.
+	Parallel int
 }
 
 // DefaultConfig is the paper-faithful configuration.
 func DefaultConfig() Config { return Config{Seed: 20070710} }
 
-func (c Config) workload(n int) marvel.Workload {
+// Workload sizes an n-image run under this configuration. It is the
+// single source of frame geometry for experiments and benchmarks.
+func (c Config) Workload(n int) marvel.Workload {
 	if c.Quick {
 		return marvel.Workload{Images: n, W: 352, H: 96, Seed: c.Seed}
 	}
@@ -40,8 +47,9 @@ func (c Config) setSizes() []int {
 	return []int{1, 10, 50}
 }
 
-// machineConfig returns a machine sized for the experiments.
-func machineConfig() *cell.Config {
+// MachineConfig returns a machine sized for the experiments (and for the
+// benchmark harness, which shares it).
+func MachineConfig() *cell.Config {
 	cfg := cell.DefaultConfig()
 	cfg.MemorySize = 64 << 20
 	return &cfg
@@ -80,19 +88,29 @@ type Table1Row struct {
 
 // kernelRoundTrips measures per-kernel PPE and SPE times for one variant:
 // the reference run gives PPE kernel times; a SingleSPE ported run gives
-// non-overlapping SPE round-trip times.
+// non-overlapping SPE round-trip times. The two simulations are
+// independent, so they run through the worker pool.
 func kernelRoundTrips(cfg Config, v marvel.Variant) (*marvel.ReferenceResult, *marvel.PortedResult, error) {
-	w := cfg.workload(1)
-	ms, err := marvel.NewModelSet(w.Seed)
-	if err != nil {
-		return nil, nil, err
-	}
-	ref := marvel.RunReference(cost.NewPPE(), w, ms)
-	ported, err := marvel.RunPorted(marvel.PortedConfig{
-		Workload:      w,
-		Scenario:      marvel.SingleSPE,
-		Variant:       v,
-		MachineConfig: machineConfig(),
+	w := cfg.Workload(1)
+	var ref *marvel.ReferenceResult
+	var ported *marvel.PortedResult
+	_, err := RunIndexed(cfg.workers(), 2, func(i int) (struct{}, error) {
+		if i == 0 {
+			ms, err := marvel.NewModelSet(w.Seed)
+			if err != nil {
+				return struct{}{}, err
+			}
+			ref = marvel.RunReference(cost.NewPPE(), w, ms)
+			return struct{}{}, nil
+		}
+		p, err := marvel.RunPorted(marvel.PortedConfig{
+			Workload:      w,
+			Scenario:      marvel.SingleSPE,
+			Variant:       v,
+			MachineConfig: MachineConfig(),
+		})
+		ported = p
+		return struct{}{}, err
 	})
 	if err != nil {
 		return nil, nil, err
@@ -183,13 +201,19 @@ type Fig6Row struct {
 // Fig6 regenerates Figure 6: per-kernel execution times on the Laptop,
 // the Desktop, the PPE and the (optimized) SPE, log scale.
 func Fig6(cfg Config) ([]Fig6Row, error) {
-	w := cfg.workload(1)
-	ms, err := marvel.NewModelSet(w.Seed)
+	w := cfg.Workload(1)
+	hosts := []func() *cost.Model{cost.NewLaptop, cost.NewDesktop}
+	refs, err := RunIndexed(cfg.workers(), len(hosts), func(i int) (*marvel.ReferenceResult, error) {
+		ms, err := marvel.NewModelSet(w.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return marvel.RunReference(hosts[i](), w, ms), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	lap := marvel.RunReference(cost.NewLaptop(), w, ms)
-	desk := marvel.RunReference(cost.NewDesktop(), w, ms)
+	lap, desk := refs[0], refs[1]
 	ref, ported, err := kernelRoundTrips(cfg, marvel.Optimized)
 	if err != nil {
 		return nil, err

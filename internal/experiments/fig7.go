@@ -60,37 +60,62 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		CellOneTime: map[string]sim.Duration{},
 		SpeedUp:     map[string]map[string][]Fig7Cell{},
 	}
-	w1 := cfg.workload(1)
-	ms, err := marvel.NewModelSet(w1.Seed)
+	w1 := cfg.Workload(1)
+	// The reference measurements and the scenario×set-size grid are
+	// independent simulations (each owns a private engine and machine), so
+	// both fan out over the worker pool; results are keyed by index, which
+	// keeps the assembled figure identical to the sequential path.
+	hosts := []func() *cost.Model{cost.NewPPE, cost.NewDesktop, cost.NewLaptop}
+	refs, err := RunIndexed(cfg.workers(), len(hosts), func(i int) (*marvel.ReferenceResult, error) {
+		ms, err := marvel.NewModelSet(w1.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return marvel.RunReference(hosts[i](), w1, ms), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, host := range []*cost.Model{cost.NewPPE(), cost.NewDesktop(), cost.NewLaptop()} {
-		ref := marvel.RunReference(host, w1, ms)
-		res.RefPerImage[host.Name] = ref.PerImage
-		res.RefOneTime[host.Name] = ref.OneTime
-		res.RefTotal[host.Name] = map[int]sim.Duration{}
+	for _, ref := range refs {
+		res.RefPerImage[ref.Host] = ref.PerImage
+		res.RefOneTime[ref.Host] = ref.OneTime
+		res.RefTotal[ref.Host] = map[int]sim.Duration{}
 		for _, n := range res.Sizes {
-			res.RefTotal[host.Name][n] = ref.OneTime + sim.Duration(n)*ref.PerImage
+			res.RefTotal[ref.Host][n] = ref.OneTime + sim.Duration(n)*ref.PerImage
 		}
 	}
+	type gridPoint struct {
+		scen marvel.Scenario
+		n    int
+	}
+	var grid []gridPoint
 	for _, scen := range []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE, marvel.MultiSPE2} {
-		name := scen.String()
-		res.CellTotal[name] = map[int]sim.Duration{}
+		res.CellTotal[scen.String()] = map[int]sim.Duration{}
 		for _, n := range res.Sizes {
-			ported, err := marvel.RunPorted(marvel.PortedConfig{
-				Workload:      cfg.workload(n),
-				Scenario:      scen,
-				Variant:       marvel.Optimized,
-				MachineConfig: machineConfig(),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s n=%d: %w", name, n, err)
-			}
-			res.CellTotal[name][n] = ported.Total
-			res.CellPerImg[name] = ported.PerImage
-			res.CellOneTime[name] = ported.OneTime
+			grid = append(grid, gridPoint{scen, n})
 		}
+	}
+	runs, err := RunIndexed(cfg.workers(), len(grid), func(i int) (*marvel.PortedResult, error) {
+		g := grid[i]
+		ported, err := marvel.RunPorted(marvel.PortedConfig{
+			Workload:      cfg.Workload(g.n),
+			Scenario:      g.scen,
+			Variant:       marvel.Optimized,
+			MachineConfig: MachineConfig(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s n=%d: %w", g.scen, g.n, err)
+		}
+		return ported, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ported := range runs {
+		name := grid[i].scen.String()
+		res.CellTotal[name][grid[i].n] = ported.Total
+		res.CellPerImg[name] = ported.PerImage
+		res.CellOneTime[name] = ported.OneTime
 	}
 	for _, cc := range CellConfigs {
 		res.SpeedUp[cc] = map[string][]Fig7Cell{}

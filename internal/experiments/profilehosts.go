@@ -32,16 +32,22 @@ type ProfileResult struct {
 
 // ProfileExp regenerates the §5.2 profiling step on the PPE.
 func ProfileExp(cfg Config) (*ProfileResult, error) {
-	ms, err := marvel.NewModelSet(cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	one := marvel.RunReference(cost.NewPPE(), cfg.workload(1), ms)
 	setSize := 50
 	if cfg.Quick {
 		setSize = 8
 	}
-	set := marvel.RunReference(cost.NewPPE(), cfg.workload(setSize), ms)
+	sizes := []int{1, setSize}
+	refs, err := RunIndexed(cfg.workers(), len(sizes), func(i int) (*marvel.ReferenceResult, error) {
+		ms, err := marvel.NewModelSet(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return marvel.RunReference(cost.NewPPE(), cfg.Workload(sizes[i]), ms), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	one, set := refs[0], refs[1]
 
 	// Per-image coverage excluding the one-time overhead (the paper's
 	// 87% counts extraction+detection against one image's full pipeline
@@ -96,14 +102,19 @@ type HostsResult struct {
 
 // HostsExp regenerates the §5.2 host comparison.
 func HostsExp(cfg Config) (*HostsResult, error) {
-	w := cfg.workload(1)
-	ms, err := marvel.NewModelSet(w.Seed)
+	w := cfg.Workload(1)
+	hosts := []func() *cost.Model{cost.NewPPE, cost.NewDesktop, cost.NewLaptop}
+	refs, err := RunIndexed(cfg.workers(), len(hosts), func(i int) (*marvel.ReferenceResult, error) {
+		ms, err := marvel.NewModelSet(w.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return marvel.RunReference(hosts[i](), w, ms), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	ppe := marvel.RunReference(cost.NewPPE(), w, ms)
-	desk := marvel.RunReference(cost.NewDesktop(), w, ms)
-	lap := marvel.RunReference(cost.NewLaptop(), w, ms)
+	ppe, desk, lap := refs[0], refs[1], refs[2]
 	res := &HostsResult{
 		KernelSlowdownDesktop: map[marvel.KernelID]float64{},
 		KernelSlowdownLaptop:  map[marvel.KernelID]float64{},

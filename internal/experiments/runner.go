@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment grid is embarrassingly parallel: every simulation owns a
+// private sim.Engine, a private machine and a private workload, and all
+// cross-run inputs (cost models, calibration tables) are immutable. The
+// runner fans independent runs out over a bounded worker pool while
+// keeping results addressed by index, so parallel execution returns
+// byte-identical artifacts to the sequential path (guarded by
+// TestParallelRunnerDeterminism).
+
+// RunIndexed executes job(0..n-1) on up to `workers` goroutines and
+// returns the results in index order. workers <= 0 means GOMAXPROCS;
+// workers == 1 runs every job inline on the calling goroutine (the
+// sequential path). On failure the lowest-index error is returned and
+// in-flight jobs finish, but unstarted jobs are skipped.
+func RunIndexed[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := job(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// workers resolves the configured parallelism for this experiment config.
+func (c Config) workers() int { return c.Parallel }

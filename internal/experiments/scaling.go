@@ -27,31 +27,33 @@ type ScalingRow struct {
 	Matches    bool    // merged feature equals the whole-image reference
 }
 
-// Scaling measures data-parallel extraction for the windowed kernels.
+// Scaling measures data-parallel extraction for the windowed kernels. The
+// kernel × SPE-count sweep fans out over the worker pool; speed-ups are
+// derived afterward against each kernel's 1-SPE row.
 func Scaling(cfg Config) ([]ScalingRow, error) {
-	w := cfg.workload(1)
-	mcfg := machineConfig()
-	var rows []ScalingRow
-	for _, id := range []marvel.KernelID{marvel.KCC, marvel.KEH, marvel.KCH, marvel.KTX} {
-		var base sim.Duration
-		for _, n := range []int{1, 2, 4, 8} {
-			res, err := marvel.RunDataParallelExtraction(id, n, w, marvel.Optimized, mcfg)
-			if err != nil {
-				return nil, fmt.Errorf("scaling %s/%d: %w", id, n, err)
-			}
-			if n == 1 {
-				base = res.Time
-			}
-			row := ScalingRow{
-				Kernel:  id,
-				NSPEs:   n,
-				Time:    res.Time,
-				Matches: res.Matches,
-			}
-			row.SpeedUp = base.Seconds() / res.Time.Seconds()
-			row.Efficiency = row.SpeedUp / float64(n)
-			rows = append(rows, row)
+	w := cfg.Workload(1)
+	kernels := []marvel.KernelID{marvel.KCC, marvel.KEH, marvel.KCH, marvel.KTX}
+	counts := []int{1, 2, 4, 8}
+	rows, err := RunIndexed(cfg.workers(), len(kernels)*len(counts), func(i int) (ScalingRow, error) {
+		id, n := kernels[i/len(counts)], counts[i%len(counts)]
+		res, err := marvel.RunDataParallelExtraction(id, n, w, marvel.Optimized, MachineConfig())
+		if err != nil {
+			return ScalingRow{}, fmt.Errorf("scaling %s/%d: %w", id, n, err)
 		}
+		return ScalingRow{Kernel: id, NSPEs: n, Time: res.Time, Matches: res.Matches}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := map[marvel.KernelID]sim.Duration{}
+	for _, r := range rows {
+		if r.NSPEs == 1 {
+			base[r.Kernel] = r.Time
+		}
+	}
+	for i := range rows {
+		rows[i].SpeedUp = base[rows[i].Kernel].Seconds() / rows[i].Time.Seconds()
+		rows[i].Efficiency = rows[i].SpeedUp / float64(rows[i].NSPEs)
 	}
 	return rows, nil
 }
@@ -83,23 +85,31 @@ func Pipeline(cfg Config) ([]PipelineRow, error) {
 	if cfg.Quick {
 		n = 4
 	}
-	w := cfg.workload(n)
-	ms, err := marvel.NewModelSet(w.Seed)
+	w := cfg.Workload(n)
+	scens := []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE2, marvel.Pipelined}
+	// Job 0 is the PPE reference; jobs 1..3 the ported schedules.
+	results, err := RunIndexed(cfg.workers(), 1+len(scens), func(i int) (any, error) {
+		if i == 0 {
+			ms, err := marvel.NewModelSet(w.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return marvel.RunReference(cost.NewPPE(), w, ms), nil
+		}
+		return marvel.RunPorted(marvel.PortedConfig{
+			Workload:      w,
+			Scenario:      scens[i-1],
+			Variant:       marvel.Optimized,
+			MachineConfig: MachineConfig(),
+		})
+	})
 	if err != nil {
 		return nil, err
 	}
-	ref := marvel.RunReference(cost.NewPPE(), w, ms)
+	ref := results[0].(*marvel.ReferenceResult)
 	var rows []PipelineRow
-	for _, scen := range []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE2, marvel.Pipelined} {
-		res, err := marvel.RunPorted(marvel.PortedConfig{
-			Workload:      w,
-			Scenario:      scen,
-			Variant:       marvel.Optimized,
-			MachineConfig: machineConfig(),
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, scen := range scens {
+		res := results[1+i].(*marvel.PortedResult)
 		rows = append(rows, PipelineRow{
 			Scenario: scen,
 			PerImage: res.PerImage,

@@ -1,0 +1,137 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"cellport/internal/img"
+)
+
+// accumulateCorrelogramReference is the original O(CorrWindow²)-per-pixel
+// full-window rescan, kept verbatim as the oracle for the sliding-window
+// implementation.
+func accumulateCorrelogramReference(a *CorrAcc, band *img.RGB, py0, py1 int) {
+	w, h := band.W, band.H
+	bins := make([]int32, w*h)
+	img.QuantizeRows(band, 0, h, bins)
+	for y := py0; y < py1; y++ {
+		yLo, yHi := y-CorrRadius, y+CorrRadius
+		if yLo < 0 {
+			yLo = 0
+		}
+		if yHi > h-1 {
+			yHi = h - 1
+		}
+		for x := 0; x < w; x++ {
+			c := bins[y*w+x]
+			xLo, xHi := x-CorrRadius, x+CorrRadius
+			if xLo < 0 {
+				xLo = 0
+			}
+			if xHi > w-1 {
+				xHi = w - 1
+			}
+			same := uint64(0)
+			for wy := yLo; wy <= yHi; wy++ {
+				row := bins[wy*w:]
+				for wx := xLo; wx <= xHi; wx++ {
+					if row[wx] == c {
+						same++
+					}
+				}
+			}
+			a.Same[c] += same - 1
+			a.Total[c] += uint64((yHi-yLo+1)*(xHi-xLo+1) - 1)
+		}
+	}
+}
+
+// TestCorrelogramSlidingWindowMatchesReference is the bit-exactness
+// property: across random seeded images — including degenerate widths and
+// heights smaller than the window, where every band is boundary-clamped —
+// the sliding-window accumulator produces exactly the reference Same and
+// Total arrays, both whole-image and split into halo'd bands.
+func TestCorrelogramSlidingWindowMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20070710))
+	for trial := 0; trial < 40; trial++ {
+		// Bias toward window-sized edge cases: dims in [1, 3*CorrWindow).
+		w := 1 + rng.Intn(3*CorrWindow-1)
+		h := 1 + rng.Intn(3*CorrWindow-1)
+		var im *img.RGB
+		if trial < 4 { // a few full-width frames like the real workload
+			w, h = 352, 24+rng.Intn(40)
+			im = img.Synthesize(rng.Uint64(), w, h)
+		} else { // uniform-random pixels exercise every color bin
+			im = img.New(w, h)
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					im.Set(x, y, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+				}
+			}
+		}
+
+		var ref, opt CorrAcc
+		accumulateCorrelogramReference(&ref, im, 0, h)
+		opt.AccumulateCorrelogram(im, 0, h)
+		if ref != opt {
+			t.Fatalf("trial %d (%dx%d): whole-image sliding window diverges from reference", trial, w, h)
+		}
+
+		// Banded accumulation with halos, as the SPE kernels run it: split
+		// the payload at a random row, give each band CorrRadius halo rows
+		// clamped at the image bounds.
+		if h >= 2 {
+			split := 1 + rng.Intn(h-1)
+			var banded CorrAcc
+			for _, b := range [][2]int{{0, split}, {split, h}} {
+				y0, y1 := b[0], b[1]
+				haloTop := CorrRadius
+				if y0-haloTop < 0 {
+					haloTop = y0
+				}
+				haloBot := CorrRadius
+				if y1+haloBot > h {
+					haloBot = h - y1
+				}
+				band := im.Rows(y0-haloTop, y1+haloBot)
+				banded.AccumulateCorrelogram(band, haloTop, haloTop+(y1-y0))
+			}
+			var bandedRef CorrAcc
+			for _, b := range [][2]int{{0, split}, {split, h}} {
+				y0, y1 := b[0], b[1]
+				haloTop := CorrRadius
+				if y0-haloTop < 0 {
+					haloTop = y0
+				}
+				haloBot := CorrRadius
+				if y1+haloBot > h {
+					haloBot = h - y1
+				}
+				band := im.Rows(y0-haloTop, y1+haloBot)
+				accumulateCorrelogramReference(&bandedRef, band, haloTop, haloTop+(y1-y0))
+			}
+			if banded != bandedRef {
+				t.Fatalf("trial %d (%dx%d split %d): banded sliding window diverges from banded reference",
+					trial, w, h, split)
+			}
+		}
+	}
+}
+
+func BenchmarkCorrelogramSlidingWindow(b *testing.B) {
+	im := img.Synthesize(13, 352, 240)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acc CorrAcc
+		acc.AccumulateCorrelogram(im, 0, im.H)
+	}
+}
+
+func BenchmarkCorrelogramReference(b *testing.B) {
+	im := img.Synthesize(13, 352, 240)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acc CorrAcc
+		accumulateCorrelogramReference(&acc, im, 0, im.H)
+	}
+}

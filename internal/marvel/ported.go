@@ -83,6 +83,11 @@ type PortedResult struct {
 	ValidationErrors int
 	// SPEBusy reports each SPE's accumulated compute time.
 	SPEBusy []sim.Duration
+	// EventCount is the simulator's total dispatched-event count for the
+	// run — a replay fingerprint: identical inputs must reproduce it
+	// exactly, whether the run executed sequentially or inside the
+	// parallel experiment harness.
+	EventCount uint64
 }
 
 // extractOrder lists extraction kernels in expected-completion order for
@@ -148,6 +153,7 @@ func RunPorted(cfg PortedConfig) (*PortedResult, error) {
 	for _, s := range machine.SPEs {
 		res.SPEBusy = append(res.SPEBusy, s.BusyTime())
 	}
+	res.EventCount = machine.Engine.EventCount
 	return res, nil
 }
 

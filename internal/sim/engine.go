@@ -8,13 +8,22 @@ import (
 )
 
 // event is a scheduled occurrence: either a callback or a process resume.
+// Events are pooled on the engine free list; idx doubles as the location
+// tag (heap index, now-lane, popped, or cancelled-in-lane).
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: insertion order, keeps the engine deterministic
 	fn   func()
 	proc *Proc
-	idx  int // heap index (-1 when popped/cancelled)
+	idx  int // heap index; idxPopped / idxNowLane / idxDead when not in heap
 }
+
+// idx sentinels for events outside the heap.
+const (
+	idxPopped  = -1 // dispatched or removed from the heap
+	idxNowLane = -2 // waiting in the same-timestamp FIFO lane
+	idxDead    = -3 // cancelled while in the now lane; skipped on drain
+)
 
 type eventHeap []*event
 
@@ -40,7 +49,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.idx = -1
+	e.idx = idxPopped
 	*h = old[:n-1]
 	return e
 }
@@ -49,12 +58,21 @@ func (h *eventHeap) Pop() any {
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	procs  map[*Proc]struct{} // all live (not yet terminated) processes
-	ready  chan signal        // process -> engine handshake
-	halted bool
+	now   Time
+	seq   uint64
+	queue eventHeap
+	// nowq is the same-timestamp fast lane: events scheduled at exactly
+	// the current time bypass the heap and run in FIFO (= seq) order.
+	// Wake-at-now (WakeOne, Yield, Spawn) is the dominant scheduling
+	// pattern, so this skips the O(log n) sift for most events. Dispatch
+	// merges the lane head with the heap top by (at, seq), preserving the
+	// exact total order a pure heap would produce.
+	nowq    []*event
+	nowHead int
+	free    []*event // recycled event structs
+	procs   []*Proc  // all live (not yet terminated) processes
+	ready   chan signal
+	halted  bool
 
 	// EventCount is the total number of events dispatched so far.
 	EventCount uint64
@@ -64,10 +82,7 @@ type signal struct{}
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{
-		procs: make(map[*Proc]struct{}),
-		ready: make(chan signal),
-	}
+	return &Engine{ready: make(chan signal)}
 }
 
 // Now returns the current virtual time.
@@ -79,21 +94,55 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.push(&event{at: t, fn: fn})
+	ev := e.alloc()
+	ev.at = t
+	ev.fn = fn
+	e.push(ev)
 }
 
 // After schedules fn to run d after the current virtual time.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
 
+// alloc takes an event from the free list (or the heap allocator). Callers
+// fill at/fn/proc and hand it to push, which owns seq assignment.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle clears a dispatched/cancelled event and returns it to the pool.
+func (e *Engine) recycle(ev *event) {
+	*ev = event{}
+	e.free = append(e.free, ev)
+}
+
 func (e *Engine) push(ev *event) {
 	e.seq++
 	ev.seq = e.seq
+	if ev.at == e.now {
+		ev.idx = idxNowLane
+		e.nowq = append(e.nowq, ev)
+		return
+	}
 	heap.Push(&e.queue, ev)
 }
 
 func (e *Engine) cancel(ev *event) {
-	if ev.idx >= 0 {
+	switch {
+	case ev.idx >= 0:
 		heap.Remove(&e.queue, ev.idx)
+		e.recycle(ev)
+	case ev.idx == idxNowLane:
+		// Still referenced by the lane slice: tombstone it; the dispatch
+		// loop recycles it when drained.
+		ev.idx = idxDead
+		ev.fn = nil
+		ev.proc = nil
 	}
 }
 
@@ -107,14 +156,40 @@ func (e *Engine) Run() error { return e.RunUntil(Never) }
 // processes is.
 func (e *Engine) RunUntil(deadline Time) error {
 	for !e.halted {
-		if len(e.queue) == 0 {
-			return e.checkQuiescent()
+		// Skip tombstoned lane entries.
+		for e.nowHead < len(e.nowq) && e.nowq[e.nowHead].idx == idxDead {
+			e.recycle(e.nowq[e.nowHead])
+			e.nowq[e.nowHead] = nil
+			e.nowHead++
 		}
-		next := e.queue[0]
-		if next.at > deadline {
-			return nil
+		var ev *event
+		if e.nowHead < len(e.nowq) {
+			// Lane events sit at e.now, so they precede any heap event at
+			// a later time; at equal time the smaller seq wins.
+			nw := e.nowq[e.nowHead]
+			if len(e.queue) == 0 || e.queue[0].at > nw.at ||
+				(e.queue[0].at == nw.at && e.queue[0].seq > nw.seq) {
+				if nw.at > deadline {
+					return nil
+				}
+				ev = nw
+				e.nowq[e.nowHead] = nil
+				e.nowHead++
+			}
+		} else if e.nowHead > 0 {
+			// Lane drained: reset it so the backing array is reused.
+			e.nowq = e.nowq[:0]
+			e.nowHead = 0
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		if ev == nil {
+			if len(e.queue) == 0 {
+				return e.checkQuiescent()
+			}
+			if e.queue[0].at > deadline {
+				return nil
+			}
+			ev = heap.Pop(&e.queue).(*event)
+		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
@@ -125,6 +200,7 @@ func (e *Engine) RunUntil(deadline Time) error {
 		case ev.proc != nil:
 			e.resume(ev.proc)
 		}
+		e.recycle(ev)
 	}
 	return nil
 }
@@ -133,10 +209,26 @@ func (e *Engine) RunUntil(deadline Time) error {
 // processes are abandoned in place; the engine must not be reused afterward.
 func (e *Engine) Halt() { e.halted = true }
 
+// addProc registers a live process (O(1) slice append).
+func (e *Engine) addProc(p *Proc) {
+	p.procIdx = len(e.procs)
+	e.procs = append(e.procs, p)
+}
+
+// removeProc unregisters a terminated process by swapping in the last slot.
+func (e *Engine) removeProc(p *Proc) {
+	last := len(e.procs) - 1
+	moved := e.procs[last]
+	e.procs[p.procIdx] = moved
+	moved.procIdx = p.procIdx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
+}
+
 // checkQuiescent reports an error when blocked processes can never resume.
 func (e *Engine) checkQuiescent() error {
 	var stuck []string
-	for p := range e.procs {
+	for _, p := range e.procs {
 		if p.state == procBlocked {
 			stuck = append(stuck, fmt.Sprintf("%s (blocked on %s)", p.name, p.blockedOn))
 		}

@@ -22,6 +22,7 @@ type Proc struct {
 	state     procState
 	blockedOn string
 	wake      *event // pending resume event, if sleeping
+	procIdx   int    // position in engine.procs for O(1) removal
 
 	// interruptible wait support
 	waitingIn *Queue
@@ -32,19 +33,7 @@ type Proc struct {
 // The body runs on its own goroutine but never concurrently with the engine
 // or another process.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{engine: e, name: name, resume: make(chan signal), state: procNew}
-	e.procs[p] = struct{}{}
-	go func() {
-		<-p.resume // wait for first dispatch
-		defer func() {
-			p.state = procDone
-			delete(e.procs, p)
-			e.ready <- signal{}
-		}()
-		body(p)
-	}()
-	e.push(&event{at: e.now, proc: p})
-	return p
+	return e.SpawnAt(e.now, name, body)
 }
 
 // SpawnAt is Spawn with a delayed start.
@@ -53,17 +42,20 @@ func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
 		t = e.now
 	}
 	p := &Proc{engine: e, name: name, resume: make(chan signal), state: procNew}
-	e.procs[p] = struct{}{}
+	e.addProc(p)
 	go func() {
-		<-p.resume
+		<-p.resume // wait for first dispatch
 		defer func() {
 			p.state = procDone
-			delete(e.procs, p)
+			e.removeProc(p)
 			e.ready <- signal{}
 		}()
 		body(p)
 	}()
-	e.push(&event{at: t, proc: p})
+	ev := e.alloc()
+	ev.at = t
+	ev.proc = p
+	e.push(ev)
 	return p
 }
 
@@ -92,8 +84,11 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	p.state = procSleeping
-	p.wake = &event{at: p.engine.now.Add(d), proc: p}
-	p.engine.push(p.wake)
+	ev := p.engine.alloc()
+	ev.at = p.engine.now.Add(d)
+	ev.proc = p
+	p.wake = ev
+	p.engine.push(ev)
 	p.yield()
 	p.wake = nil
 }
@@ -152,7 +147,10 @@ func (q *Queue) WakeOne(e *Engine) bool {
 	copy(q.waiters, q.waiters[1:])
 	q.waiters = q.waiters[:len(q.waiters)-1]
 	p.state = procSleeping
-	e.push(&event{at: e.now, proc: p})
+	ev := e.alloc()
+	ev.at = e.now
+	ev.proc = p
+	e.push(ev)
 	return true
 }
 
@@ -162,7 +160,10 @@ func (q *Queue) WakeAll(e *Engine) int {
 	for i := 0; i < n; i++ {
 		p := q.waiters[i]
 		p.state = procSleeping
-		e.push(&event{at: e.now, proc: p})
+		ev := e.alloc()
+		ev.at = e.now
+		ev.proc = p
+		e.push(ev)
 	}
 	q.waiters = q.waiters[:0]
 	return n
@@ -193,7 +194,10 @@ func (p *Proc) WaitForTimeout(q *Queue, d Duration, pred func() bool) bool {
 				copy(q.waiters[i:], q.waiters[i+1:])
 				q.waiters = q.waiters[:len(q.waiters)-1]
 				p.state = procSleeping
-				p.engine.push(&event{at: p.engine.now, proc: p})
+				ev := p.engine.alloc()
+				ev.at = p.engine.now
+				ev.proc = p
+				p.engine.push(ev)
 				return
 			}
 		}

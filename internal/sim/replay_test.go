@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSameTimestampFIFOAcrossLanes pins the dispatch order when heap-resident
+// events (scheduled for a future instant) and fast-lane events (scheduled at
+// the current instant) share a timestamp: insertion (seq) order must win,
+// exactly as a pure heap would order them.
+func TestSameTimestampFIFOAcrossLanes(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	// A and B are scheduled from t=0 for t=5: both take the heap path.
+	e.At(Time(5), func() {
+		order = append(order, "A")
+		// C and D are scheduled at t=5 while now==5: both take the fast
+		// lane, and must run after B (smaller seq, already in the heap).
+		e.At(Time(5), func() { order = append(order, "C") })
+		e.After(0, func() { order = append(order, "D") })
+	})
+	e.At(Time(5), func() { order = append(order, "B") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"A", "B", "C", "D"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestNowLaneTimerCancel cancels a timer that lives in the same-timestamp
+// lane (a tombstone, not a heap removal) and checks it never fires while
+// later events still do.
+func TestNowLaneTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	laterRan := false
+	e.At(Time(3), func() {
+		tm := e.Schedule(e.Now(), func() { fired = true }) // lane-resident
+		if !tm.Active() {
+			t.Error("timer should be pending")
+		}
+		tm.Cancel()
+		if tm.Active() {
+			t.Error("cancelled timer still active")
+		}
+		e.Schedule(e.Now(), func() { laterRan = true })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled lane timer fired")
+	}
+	if !laterRan {
+		t.Fatal("event behind the tombstone did not run")
+	}
+}
+
+// TestTimerRearmFromCallback re-arms a timer from its own callback; the
+// recycled event must not corrupt the new arming.
+func TestTimerRearmFromCallback(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	var tm *Timer
+	tm = e.Schedule(Time(2), func() {
+		fires = append(fires, e.Now())
+		if len(fires) < 3 {
+			tm.Reschedule(e.Now().Add(2))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []Time{2, 4, 6}; !reflect.DeepEqual(fires, want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	_ = tm
+}
+
+// replayTrace runs a randomized workload mixing every scheduling primitive —
+// sleeps, zero-sleeps (fast lane), queue wake-ups, timers, timer cancels —
+// and records the full dispatch trace plus the final event count.
+func replayTrace(t *testing.T, seed int64) ([]string, uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine()
+	var log []string
+	q := NewQueue("shared")
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("p%d", i)
+		steps := make([]int, 8)
+		for j := range steps {
+			steps[j] = rng.Intn(6)
+		}
+		delay := Duration(rng.Intn(20)) * Nanosecond
+		e.Spawn(name, func(p *Proc) {
+			for _, s := range steps {
+				switch s {
+				case 0:
+					p.Sleep(delay)
+				case 1:
+					p.Yield() // fast lane
+				case 2:
+					q.WakeOne(e)
+				case 3:
+					tm := e.Schedule(p.Now().Add(delay), func() {
+						log = append(log, name+":timer@"+e.Now().String())
+					})
+					if delay%2 == 0 {
+						tm.Cancel()
+					}
+				case 4:
+					p.WaitForTimeout(q, 5*Nanosecond, func() bool { return q.Len() > 2 })
+				case 5:
+					e.After(0, func() { q.WakeAll(e) }) // lane callback
+				}
+				log = append(log, fmt.Sprintf("%s@%d", name, int64(p.Now())))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return log, e.EventCount
+}
+
+// TestReplayIdenticalEventOrder is the determinism invariant behind the
+// engine fast paths: same inputs ⇒ identical dispatch order and event
+// count, across repeated runs and many seeds.
+func TestReplayIdenticalEventOrder(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		first, count := replayTrace(t, seed)
+		for rep := 0; rep < 3; rep++ {
+			got, gotCount := replayTrace(t, seed)
+			if gotCount != count {
+				t.Fatalf("seed %d rep %d: EventCount %d, want %d", seed, rep, gotCount, count)
+			}
+			if !reflect.DeepEqual(got, first) {
+				t.Fatalf("seed %d rep %d: trace diverged", seed, rep)
+			}
+		}
+	}
+}
+
+// TestEventPoolRecycling sanity-checks the free list: after a burst of
+// events drains, subsequent scheduling reuses pooled structs rather than
+// growing the pool without bound.
+func TestEventPoolRecycling(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 100; i++ {
+			e.After(Duration(i)*Nanosecond, func() {})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(e.free); n > 220 {
+		t.Fatalf("free list grew to %d events; recycling is not bounding allocations", n)
+	}
+}
+
+// --- WaitForTimeout edge cases ------------------------------------------
+
+// TestWaitForTimeoutExactDeadlineWake: the waker fires at exactly the
+// deadline but was scheduled before the timeout timer, so the wake-up
+// dispatches first and the predicate (now true) wins over the expiry.
+func TestWaitForTimeoutPredicateTrueAtExpiryInstant(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("edge")
+	ready := false
+	var got bool
+	var at Time
+	e.Spawn("setter", func(p *Proc) {
+		p.Sleep(10 * Nanosecond) // wake event scheduled before waiter's timer
+		ready = true
+		q.WakeOne(e)
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		got = p.WaitForTimeout(q, 10*Nanosecond, func() bool { return ready })
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got || at != Time(10*Nanosecond) {
+		t.Fatalf("predicate-at-expiry: got=%v at=%v, want success at 10ns", got, at)
+	}
+}
+
+// TestWaitForTimeoutPredicateWinsEvenAfterTimerFires documents the tie
+// rule: the predicate is re-evaluated when the waiter actually resumes, so
+// a condition that becomes true at the expiry instant — even via a wake
+// dispatched AFTER the timeout timer removed the waiter from the queue —
+// still reports success. Expiry only wins when the predicate stays false.
+func TestWaitForTimeoutPredicateWinsEvenAfterTimerFires(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("edge2")
+	ready := false
+	var got bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) { // spawned first: its timer wins ties
+		got = p.WaitForTimeout(q, 10*Nanosecond, func() bool { return ready })
+		at = p.Now()
+	})
+	e.Spawn("setter", func(p *Proc) {
+		p.Sleep(10 * Nanosecond) // resumes after the waiter's expiry timer
+		ready = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got || at != Time(10*Nanosecond) {
+		t.Fatalf("late-true predicate: got=%v at=%v, want success at 10ns", got, at)
+	}
+}
+
+// TestWaitForTimeoutExpiryWithSpuriousWakeAtDeadline: a wake landing at
+// exactly the deadline with the predicate still false must not defeat the
+// timeout; the wait fails at precisely the deadline instant.
+func TestWaitForTimeoutExpiryWithSpuriousWakeAtDeadline(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("edge3")
+	var got bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		got = p.WaitForTimeout(q, 10*Nanosecond, func() bool { return false })
+		at = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		q.WakeAll(e) // spurious: predicate remains false
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got || at != Time(10*Nanosecond) {
+		t.Fatalf("spurious wake at deadline: got=%v at=%v, want failure at 10ns", got, at)
+	}
+}
+
+// TestWaitForTimeoutZeroDuration: a zero timeout with a false predicate
+// expires at the current instant without deadlocking.
+func TestWaitForTimeoutZeroDuration(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("zero")
+	var got bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		got = p.WaitForTimeout(q, 0, func() bool { return false })
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got || at != 0 {
+		t.Fatalf("zero timeout: got=%v at=%v", got, at)
+	}
+}
+
+// TestQueueReuseAfterTimedOutWaiter: a timed-out waiter must be fully
+// removed from the queue; later waiters keep strict FIFO order and WakeOne
+// never resumes the stale process.
+func TestQueueReuseAfterTimedOutWaiter(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("reuse")
+	var order []string
+	e.Spawn("loser", func(p *Proc) {
+		if p.WaitForTimeout(q, 5*Nanosecond, func() bool { return false }) {
+			t.Error("loser should have timed out")
+		}
+		order = append(order, "loser-timeout")
+	})
+	for _, name := range []string{"w1", "w2"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			p.Sleep(10 * Nanosecond)
+			p.Wait(q)
+			order = append(order, name)
+		})
+	}
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(20 * Nanosecond)
+		if q.Len() != 2 {
+			t.Errorf("queue len = %d after timeout removal, want 2", q.Len())
+		}
+		q.WakeOne(e)
+		q.WakeOne(e)
+		if q.WakeOne(e) {
+			t.Error("third WakeOne woke a stale waiter")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"loser-timeout", "w1", "w2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}

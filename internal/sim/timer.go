@@ -17,9 +17,19 @@ func (e *Engine) Schedule(t Time, fn func()) *Timer {
 		t = e.now
 	}
 	tm := &Timer{engine: e, fn: fn}
-	tm.ev = &event{at: t, fn: func() { tm.ev = nil; fn() }}
-	e.push(tm.ev)
+	tm.arm(t)
 	return tm
+}
+
+// arm allocates and pushes the timer's event at time t. The wrapper drops
+// the handle's reference before running fn, so the dispatched event can be
+// recycled safely even if fn re-arms the timer.
+func (t *Timer) arm(at Time) {
+	ev := t.engine.alloc()
+	ev.at = at
+	ev.fn = func() { t.ev = nil; t.fn() }
+	t.ev = ev
+	t.engine.push(ev)
 }
 
 // Cancel removes the pending callback. Cancelling a fired or already
@@ -38,8 +48,7 @@ func (t *Timer) Reschedule(at Time) {
 	if at < t.engine.now {
 		at = t.engine.now
 	}
-	t.ev = &event{at: at, fn: func() { t.ev = nil; t.fn() }}
-	t.engine.push(t.ev)
+	t.arm(at)
 }
 
 // Active reports whether the callback is still pending.
