@@ -167,12 +167,12 @@ func benchScenario(b *testing.B, scen marvel.Scenario, images int) {
 }
 
 // benchFig7Grid runs the whole Figure 7 experiment (3 hosts + 3 scenarios
-// × set sizes) through the experiment harness at a fixed worker count.
-// Comparing Seq vs Parallel on a multicore host shows the wall-time win
-// of the worker pool; the virtual-time results are identical either way.
-func benchFig7Grid(b *testing.B, workers int) {
-	cfg := benchCfg
-	cfg.Parallel = workers
+// × set sizes) through the experiment harness. Comparing Seq vs Parallel
+// on a multicore host shows the wall-time win of the worker pool;
+// comparing either against NoCache shows the artifact cache's win (the
+// three host reference runs amortize). Virtual-time results are identical
+// across all of them.
+func benchFig7Grid(b *testing.B, cfg experiments.Config) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig7(cfg); err != nil {
 			b.Fatal(err)
@@ -180,8 +180,82 @@ func benchFig7Grid(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkFig7GridSeq(b *testing.B)      { benchFig7Grid(b, 1) }
-func BenchmarkFig7GridParallel(b *testing.B) { benchFig7Grid(b, 0) }
+func withParallel(cfg experiments.Config, workers int) experiments.Config {
+	cfg.Parallel = workers
+	return cfg
+}
+
+func withNoCache(cfg experiments.Config) experiments.Config {
+	cfg.NoCache = true
+	return cfg
+}
+
+func BenchmarkFig7GridSeq(b *testing.B)      { benchFig7Grid(b, withParallel(benchCfg, 1)) }
+func BenchmarkFig7GridParallel(b *testing.B) { benchFig7Grid(b, withParallel(benchCfg, 0)) }
+func BenchmarkFig7GridNoCache(b *testing.B) {
+	benchFig7Grid(b, withNoCache(withParallel(benchCfg, 1)))
+}
+
+// --- multi-point sweep: artifact cache on vs off ---------------------------
+
+// benchSweepGrid is the tentpole's acceptance benchmark: a Fig7-style
+// grid of scenarios × kernel variants × set sizes with validation on, so
+// every point checks its outputs against the sequential reference — the
+// "application functional at all times" workflow of an iterative porting
+// sweep. Cached, each (workload, host) reference — and the image set and
+// model set under it — is computed once and shared across the RunIndexed
+// workers and across sweeps (the process-lifetime behavior paperbench
+// gets by default); NoCache recomputes them at every point. One warm-up
+// sweep runs before the timer in both variants, so Cached measures the
+// steady state. Outputs are byte-identical either way
+// (TestPortedCacheOnOffIdentical).
+func benchSweepGrid(b *testing.B, nocache bool) {
+	type point struct {
+		scen marvel.Scenario
+		v    marvel.Variant
+		n    int
+	}
+	var grid []point
+	for _, scen := range []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE, marvel.MultiSPE2} {
+		for _, v := range []marvel.Variant{marvel.Naive, marvel.Optimized} {
+			for _, n := range []int{1, 2, 4} {
+				grid = append(grid, point{scen, v, n})
+			}
+		}
+	}
+	arts := marvel.NewArtifactCache()
+	sweep := func() error {
+		_, err := experiments.RunIndexed(0, len(grid), func(j int) (*marvel.PortedResult, error) {
+			g := grid[j]
+			pc := marvel.PortedConfig{
+				Workload:      benchWorkload(g.n),
+				Scenario:      g.scen,
+				Variant:       g.v,
+				Validate:      true,
+				MachineConfig: benchMachine(),
+			}
+			if nocache {
+				pc.NoCache = true
+			} else {
+				pc.Artifacts = arts
+			}
+			return marvel.RunPorted(pc)
+		})
+		return err
+	}
+	if err := sweep(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepGridCached(b *testing.B)  { benchSweepGrid(b, false) }
+func BenchmarkSweepGridNoCache(b *testing.B) { benchSweepGrid(b, true) }
 
 func BenchmarkFig7SingleSPE1(b *testing.B)  { benchScenario(b, marvel.SingleSPE, 1) }
 func BenchmarkFig7SingleSPE4(b *testing.B)  { benchScenario(b, marvel.SingleSPE, 4) }

@@ -11,6 +11,7 @@
 //	paperbench -exp hosts        # §5.2 reference-machine ratios
 //	paperbench -quick            # reduced frames/sets for a fast pass
 //	paperbench -parallel 4       # worker pool for independent runs
+//	paperbench -nocache          # recompute artifacts per run (cold path)
 //	paperbench -json out.json    # machine-readable sidecar ("-" = stdout)
 //
 // Independent simulation runs fan out over -parallel workers (default:
@@ -42,9 +43,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable results to this path (\"-\" for stdout)")
 	seed := flag.Uint64("seed", 20070710, "workload seed")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+	nocache := flag.Bool("nocache", false, "recompute workload artifacts for every run (cold-path calibration)")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, NoCache: *nocache}
 	out := os.Stdout
 	tables := *jsonPath != "-" // "-" routes JSON to stdout instead of tables
 	jsonDoc := map[string]jsonEntry{}
@@ -175,6 +177,7 @@ func main() {
 			Quick    bool   `json:"quick"`
 			Seed     uint64 `json:"seed"`
 			Parallel int    `json:"parallel"`
+			NoCache  bool   `json:"nocache"`
 			MaxProcs int    `json:"gomaxprocs"`
 		} `json:"config"`
 		TotalWallMS float64              `json:"total_wall_ms"`
@@ -183,6 +186,7 @@ func main() {
 	doc.Config.Quick = *quick
 	doc.Config.Seed = *seed
 	doc.Config.Parallel = *parallel
+	doc.Config.NoCache = *nocache
 	doc.Config.MaxProcs = runtime.GOMAXPROCS(0)
 
 	dst := os.Stdout

@@ -9,8 +9,14 @@
 //
 // The fluid model is event-driven: whenever a transfer starts or finishes,
 // remaining byte counts are advanced at the old rates, rates are
-// recomputed, and the next completion is rescheduled. Byte conservation
-// and capacity respect are property-tested.
+// recomputed, and the next completion is rescheduled. The recomputation is
+// incremental: per-port flow counts classify the constraint shape, and the
+// common shapes (a single flow; fully disjoint flows; all flows through
+// one bottleneck port) get closed-form uniform rates that are float-for-
+// float identical to the full waterfill, which runs only for mixed shapes.
+// Transfers whose rate did not change keep their scheduled completion
+// timer. Byte conservation, capacity respect, and incremental-vs-full
+// equivalence are property-tested.
 package eib
 
 import (
@@ -64,8 +70,18 @@ type Bus struct {
 	engine *sim.Engine
 	cfg    Config
 
-	active     map[*Transfer]struct{}
+	// active holds in-flight transfers in a deterministic order (insertion
+	// order with swap-removal); each transfer records its slot in idx.
+	active []*Transfer
+	// portLoad counts the active flows crossing each port (a loop-back
+	// transfer counts once). The counts classify the constraint shape so
+	// reallocate can skip the full waterfill for uniform shapes.
+	portLoad   map[Port]int
 	lastUpdate sim.Time
+
+	// forceFull disables the closed-form fast paths so tests can compare
+	// the incremental allocator against the retained full solver.
+	forceFull bool
 
 	// Stats
 	bytesMoved float64
@@ -77,6 +93,7 @@ type Transfer struct {
 	src, dst  Port
 	remaining float64
 	rate      float64 // bytes/s under the current allocation
+	idx       int     // slot in bus.active
 	done      *sim.Queue
 	finished  bool
 	timer     *sim.Timer
@@ -89,7 +106,7 @@ func New(e *sim.Engine, cfg Config) *Bus {
 	if cfg.PortBandwidth <= 0 || cfg.TotalBandwidth <= 0 {
 		panic("eib: non-positive bandwidth")
 	}
-	return &Bus{engine: e, cfg: cfg, active: make(map[*Transfer]struct{})}
+	return &Bus{engine: e, cfg: cfg, portLoad: make(map[Port]int)}
 }
 
 // Start begins moving size bytes from src to dst and returns the transfer
@@ -109,7 +126,7 @@ func (b *Bus) Start(src, dst Port, size int64, onDone func()) *Transfer {
 		return t
 	}
 	b.advance()
-	b.active[t] = struct{}{}
+	b.addActive(t)
 	b.reallocate()
 	return t
 }
@@ -130,6 +147,33 @@ func (t *Transfer) complete() {
 	t.done.WakeAll(t.bus.engine)
 }
 
+func (b *Bus) addActive(t *Transfer) {
+	t.idx = len(b.active)
+	b.active = append(b.active, t)
+	b.portLoad[t.src]++
+	if t.dst != t.src {
+		b.portLoad[t.dst]++
+	}
+}
+
+func (b *Bus) removeActive(t *Transfer) {
+	last := len(b.active) - 1
+	b.active[t.idx] = b.active[last]
+	b.active[t.idx].idx = t.idx
+	b.active[last] = nil
+	b.active = b.active[:last]
+	b.decLoad(t.src)
+	if t.dst != t.src {
+		b.decLoad(t.dst)
+	}
+}
+
+func (b *Bus) decLoad(p Port) {
+	if b.portLoad[p]--; b.portLoad[p] == 0 {
+		delete(b.portLoad, p)
+	}
+}
+
 // advance applies the current rates over the time elapsed since the last
 // recomputation.
 func (b *Bus) advance() {
@@ -139,7 +183,7 @@ func (b *Bus) advance() {
 	if dt <= 0 {
 		return
 	}
-	for t := range b.active {
+	for _, t := range b.active {
 		moved := t.rate * dt
 		if moved > t.remaining {
 			moved = t.remaining
@@ -150,55 +194,107 @@ func (b *Bus) advance() {
 }
 
 // reallocate computes the max-min fair rate for every active transfer and
-// reschedules completion timers.
+// reschedules the completion timers of transfers whose rate changed. The
+// per-port flow counts select a closed-form uniform allocation when the
+// constraint shape admits one; mixed shapes fall back to the retained
+// full waterfill.
 func (b *Bus) reallocate() {
-	if len(b.active) == 0 {
+	n := len(b.active)
+	if n == 0 {
 		return
 	}
-	// Water-filling over the constraining resources: each port (a transfer
-	// loads both endpoints; a loop-back transfer loads its port once) and
-	// the fabric aggregate.
+	maxLoad := 0
+	for _, l := range b.portLoad {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if rate, ok := uniformRate(n, maxLoad, b.cfg); ok && !b.forceFull {
+		for _, t := range b.active {
+			t.setRate(rate)
+		}
+		return
+	}
+	rates := maxMinRates(b.active, b.cfg)
+	for i, t := range b.active {
+		t.setRate(rates[i])
+	}
+}
+
+// uniformRate reports whether n flows with the given maximum per-port
+// flow count admit a closed-form uniform max-min allocation, and the
+// rate if so. The three shapes cover a lone transfer, fully disjoint
+// flows (every port crossed by at most one flow), and a single shared
+// bottleneck (some port crossed by every flow — its fair share P/n is
+// the minimum over all port shares, so it or the fabric is the tight
+// resource and every flow freezes at the same rate). The expressions
+// reproduce the waterfill's arithmetic exactly: cap/float64(count) with
+// the same operands, so rates are float-for-float identical to the full
+// solver's.
+func uniformRate(n, maxLoad int, cfg Config) (float64, bool) {
+	fn := float64(n)
+	switch {
+	case n == 1:
+		return math.Min(cfg.PortBandwidth, cfg.TotalBandwidth), true
+	case maxLoad == 1:
+		return math.Min(cfg.PortBandwidth, cfg.TotalBandwidth/fn), true
+	case maxLoad == n:
+		return math.Min(cfg.PortBandwidth/fn, cfg.TotalBandwidth/fn), true
+	}
+	return 0, false
+}
+
+// maxMinRates is the full progressive-filling solver: water-filling over
+// the constraining resources — each crossed port (a transfer loads both
+// endpoints; a loop-back transfer loads its port once) and the fabric
+// aggregate. It is a pure function of the flow order, with resources
+// enumerated deterministically (fabric first, then ports in first-use
+// order).
+func maxMinRates(flows []*Transfer, cfg Config) []float64 {
 	type resource struct {
 		cap   float64
-		flows []*Transfer
+		flows []int
 	}
-	res := map[string]*resource{}
-	addFlow := func(key string, cap float64, t *Transfer) {
-		r := res[key]
-		if r == nil {
-			r = &resource{cap: cap}
-			res[key] = r
+	res := []*resource{{cap: cfg.TotalBandwidth}}
+	portIdx := make(map[Port]int)
+	addFlow := func(p Port, i int) {
+		j, ok := portIdx[p]
+		if !ok {
+			j = len(res)
+			portIdx[p] = j
+			res = append(res, &resource{cap: cfg.PortBandwidth})
 		}
-		r.flows = append(r.flows, t)
+		res[j].flows = append(res[j].flows, i)
 	}
-	for t := range b.active {
-		addFlow(t.src.String(), b.cfg.PortBandwidth, t)
+	for i, t := range flows {
+		res[0].flows = append(res[0].flows, i)
+		addFlow(t.src, i)
 		if t.dst != t.src {
-			addFlow(t.dst.String(), b.cfg.PortBandwidth, t)
+			addFlow(t.dst, i)
 		}
-		addFlow("fabric", b.cfg.TotalBandwidth, t)
 	}
-	unassigned := make(map[*Transfer]bool, len(b.active))
-	for t := range b.active {
-		unassigned[t] = true
-		t.rate = 0
+
+	rates := make([]float64, len(flows))
+	frozenIn := make([]int, len(flows)) // round each flow froze in, -1 if free
+	for i := range frozenIn {
+		frozenIn[i] = -1
 	}
-	for len(unassigned) > 0 {
-		// Find the most constrained resource among those with unassigned flows.
+	remaining := len(flows)
+	for round := 0; remaining > 0; round++ {
+		// Find the most constrained resource among those with free flows.
 		var tight *resource
 		share := math.Inf(1)
 		for _, r := range res {
-			n := 0
+			free := 0
 			for _, f := range r.flows {
-				if unassigned[f] {
-					n++
+				if frozenIn[f] < 0 {
+					free++
 				}
 			}
-			if n == 0 {
+			if free == 0 {
 				continue
 			}
-			s := r.cap / float64(n)
-			if s < share {
+			if s := r.cap / float64(free); s < share {
 				share = s
 				tight = r
 			}
@@ -206,24 +302,19 @@ func (b *Bus) reallocate() {
 		if tight == nil {
 			break
 		}
-		// Freeze the tight resource's unassigned flows at the fair share and
+		// Freeze the tight resource's free flows at the fair share and
 		// charge every resource they traverse.
-		var frozen []*Transfer
 		for _, f := range tight.flows {
-			if unassigned[f] {
-				frozen = append(frozen, f)
+			if frozenIn[f] < 0 {
+				frozenIn[f] = round
+				rates[f] = share
+				remaining--
 			}
-		}
-		for _, f := range frozen {
-			f.rate = share
-			delete(unassigned, f)
 		}
 		for _, r := range res {
 			for _, f := range r.flows {
-				for _, fr := range frozen {
-					if f == fr {
-						r.cap -= share
-					}
+				if frozenIn[f] == round {
+					r.cap -= share
 				}
 			}
 			if r.cap < 0 {
@@ -231,10 +322,20 @@ func (b *Bus) reallocate() {
 			}
 		}
 	}
-	// Reschedule completions under the new rates.
-	for t := range b.active {
-		t.reschedule()
+	return rates
+}
+
+// setRate installs a transfer's new allocation. When the rate is
+// unchanged and a completion timer is pending, the timer stays: advance()
+// has just brought remaining up to date at this same rate, so the
+// scheduled ETA is still the completion time (and keeping the original
+// timer avoids re-deriving it through another division).
+func (t *Transfer) setRate(rate float64) {
+	if t.rate == rate && t.timer != nil {
+		return
 	}
+	t.rate = rate
+	t.reschedule()
 }
 
 func (t *Transfer) reschedule() {
@@ -248,6 +349,7 @@ func (t *Transfer) reschedule() {
 	}
 	eta := b.engine.Now().Add(sim.FromSeconds(t.remaining / t.rate))
 	t.timer = b.engine.Schedule(eta, func() {
+		t.timer = nil
 		b.advance()
 		// Guard against float residue: treat sub-byte remainders as done.
 		if t.remaining > 0.5 {
@@ -256,7 +358,7 @@ func (t *Transfer) reschedule() {
 		}
 		b.bytesMoved += t.remaining
 		t.remaining = 0
-		delete(b.active, t)
+		b.removeActive(t)
 		t.complete()
 		b.reallocate()
 	})

@@ -114,12 +114,7 @@ func Eqns(cfg Config) (*EqnsResult, error) {
 		if scenarios[i].s == marvel.SingleSPE {
 			return ref.PerImage.Seconds() / single.PerImage.Seconds(), nil
 		}
-		ported, err := marvel.RunPorted(marvel.PortedConfig{
-			Workload:      cfg.Workload(1),
-			Scenario:      scenarios[i].s,
-			Variant:       marvel.Optimized,
-			MachineConfig: MachineConfig(),
-		})
+		ported, err := marvel.RunPorted(cfg.ported(cfg.Workload(1), scenarios[i].s, marvel.Optimized))
 		if err != nil {
 			return 0, err
 		}

@@ -26,6 +26,40 @@ type Config struct {
 	// path. Virtual-time results are identical at any setting; only host
 	// wall time changes.
 	Parallel int
+	// NoCache forces every run to recompute its workload artifacts
+	// (images, model sets, reference runs) instead of sharing them through
+	// the process-wide cache — the paperbench -nocache calibration path.
+	NoCache bool
+	// Artifacts, when non-nil, overrides the artifact cache used by all
+	// runs of this configuration (takes precedence over NoCache).
+	Artifacts *marvel.ArtifactCache
+}
+
+// artifacts resolves the cache for this configuration's runs: an explicit
+// instance wins, NoCache yields nil (compute privately), default is the
+// process-wide shared cache.
+func (c Config) artifacts() *marvel.ArtifactCache {
+	if c.Artifacts != nil {
+		return c.Artifacts
+	}
+	if c.NoCache {
+		return nil
+	}
+	return marvel.SharedArtifacts()
+}
+
+// ported builds a PortedConfig carrying this configuration's machine and
+// cache policy, so every experiment's RunPorted call shares artifacts the
+// same way.
+func (c Config) ported(w marvel.Workload, s marvel.Scenario, v marvel.Variant) marvel.PortedConfig {
+	return marvel.PortedConfig{
+		Workload:      w,
+		Scenario:      s,
+		Variant:       v,
+		MachineConfig: MachineConfig(),
+		Artifacts:     c.Artifacts,
+		NoCache:       c.NoCache,
+	}
 }
 
 // DefaultConfig is the paper-faithful configuration.
@@ -96,19 +130,11 @@ func kernelRoundTrips(cfg Config, v marvel.Variant) (*marvel.ReferenceResult, *m
 	var ported *marvel.PortedResult
 	_, err := RunIndexed(cfg.workers(), 2, func(i int) (struct{}, error) {
 		if i == 0 {
-			ms, err := marvel.NewModelSet(w.Seed)
-			if err != nil {
-				return struct{}{}, err
-			}
-			ref = marvel.RunReference(cost.NewPPE(), w, ms)
-			return struct{}{}, nil
+			r, err := cfg.artifacts().Reference(cost.NewPPE(), w)
+			ref = r
+			return struct{}{}, err
 		}
-		p, err := marvel.RunPorted(marvel.PortedConfig{
-			Workload:      w,
-			Scenario:      marvel.SingleSPE,
-			Variant:       v,
-			MachineConfig: MachineConfig(),
-		})
+		p, err := marvel.RunPorted(cfg.ported(w, marvel.SingleSPE, v))
 		ported = p
 		return struct{}{}, err
 	})
@@ -204,11 +230,7 @@ func Fig6(cfg Config) ([]Fig6Row, error) {
 	w := cfg.Workload(1)
 	hosts := []func() *cost.Model{cost.NewLaptop, cost.NewDesktop}
 	refs, err := RunIndexed(cfg.workers(), len(hosts), func(i int) (*marvel.ReferenceResult, error) {
-		ms, err := marvel.NewModelSet(w.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return marvel.RunReference(hosts[i](), w, ms), nil
+		return cfg.artifacts().Reference(hosts[i](), w)
 	})
 	if err != nil {
 		return nil, err

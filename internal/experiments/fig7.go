@@ -67,11 +67,7 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 	// keeps the assembled figure identical to the sequential path.
 	hosts := []func() *cost.Model{cost.NewPPE, cost.NewDesktop, cost.NewLaptop}
 	refs, err := RunIndexed(cfg.workers(), len(hosts), func(i int) (*marvel.ReferenceResult, error) {
-		ms, err := marvel.NewModelSet(w1.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return marvel.RunReference(hosts[i](), w1, ms), nil
+		return cfg.artifacts().Reference(hosts[i](), w1)
 	})
 	if err != nil {
 		return nil, err
@@ -97,12 +93,7 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 	}
 	runs, err := RunIndexed(cfg.workers(), len(grid), func(i int) (*marvel.PortedResult, error) {
 		g := grid[i]
-		ported, err := marvel.RunPorted(marvel.PortedConfig{
-			Workload:      cfg.Workload(g.n),
-			Scenario:      g.scen,
-			Variant:       marvel.Optimized,
-			MachineConfig: MachineConfig(),
-		})
+		ported, err := marvel.RunPorted(cfg.ported(cfg.Workload(g.n), g.scen, marvel.Optimized))
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s n=%d: %w", g.scen, g.n, err)
 		}

@@ -38,11 +38,7 @@ func ProfileExp(cfg Config) (*ProfileResult, error) {
 	}
 	sizes := []int{1, setSize}
 	refs, err := RunIndexed(cfg.workers(), len(sizes), func(i int) (*marvel.ReferenceResult, error) {
-		ms, err := marvel.NewModelSet(cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return marvel.RunReference(cost.NewPPE(), cfg.Workload(sizes[i]), ms), nil
+		return cfg.artifacts().Reference(cost.NewPPE(), cfg.Workload(sizes[i]))
 	})
 	if err != nil {
 		return nil, err
@@ -105,11 +101,7 @@ func HostsExp(cfg Config) (*HostsResult, error) {
 	w := cfg.Workload(1)
 	hosts := []func() *cost.Model{cost.NewPPE, cost.NewDesktop, cost.NewLaptop}
 	refs, err := RunIndexed(cfg.workers(), len(hosts), func(i int) (*marvel.ReferenceResult, error) {
-		ms, err := marvel.NewModelSet(w.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return marvel.RunReference(hosts[i](), w, ms), nil
+		return cfg.artifacts().Reference(hosts[i](), w)
 	})
 	if err != nil {
 		return nil, err

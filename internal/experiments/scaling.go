@@ -90,18 +90,9 @@ func Pipeline(cfg Config) ([]PipelineRow, error) {
 	// Job 0 is the PPE reference; jobs 1..3 the ported schedules.
 	results, err := RunIndexed(cfg.workers(), 1+len(scens), func(i int) (any, error) {
 		if i == 0 {
-			ms, err := marvel.NewModelSet(w.Seed)
-			if err != nil {
-				return nil, err
-			}
-			return marvel.RunReference(cost.NewPPE(), w, ms), nil
+			return cfg.artifacts().Reference(cost.NewPPE(), w)
 		}
-		return marvel.RunPorted(marvel.PortedConfig{
-			Workload:      w,
-			Scenario:      scens[i-1],
-			Variant:       marvel.Optimized,
-			MachineConfig: MachineConfig(),
-		})
+		return marvel.RunPorted(cfg.ported(w, scens[i-1], marvel.Optimized))
 	})
 	if err != nil {
 		return nil, err

@@ -10,14 +10,20 @@ type HistAcc struct {
 
 // AccumulateHistogram adds rows [y0, y1) of im to the accumulator. The
 // color histogram is pointwise, so bands need no halo.
+//
+// The inner loop walks a full-row slice in 3-byte steps so the compiler
+// can hoist the bounds checks out of the per-pixel path; counts are exact
+// integers, bit-identical to the naive scan (enforced by the
+// reference-vs-optimized property test).
 func (a *HistAcc) AccumulateHistogram(im *img.RGB, y0, y1 int) {
+	w := im.W
 	for y := y0; y < y1; y++ {
-		row := im.Pix[y*im.Stride:]
-		for x := 0; x < im.W; x++ {
-			bin := img.QuantizeHSV166(row[3*x], row[3*x+1], row[3*x+2])
-			a.Counts[bin]++
+		off := y * im.Stride
+		row := im.Pix[off : off+3*w : off+3*w]
+		for ; len(row) >= 3; row = row[3:] {
+			a.Counts[img.QuantizeHSV166(row[0], row[1], row[2])]++
 		}
-		a.Pixels += uint64(im.W)
+		a.Pixels += uint64(w)
 	}
 }
 

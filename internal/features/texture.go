@@ -31,19 +31,25 @@ func (a *TexAcc) AccumulateTexture(band *img.RGB, py0, py1 int) {
 		for tx := 0; tx < w; tx += TexTile {
 			// Load tile with edge replication (within the payload rows:
 			// vertical replication only happens at the true image bottom,
-			// where the band ends).
+			// where the band ends). The in-bounds span copies from a
+			// hoisted row slice; only the replicated tail clamps.
 			for y := 0; y < TexTile; y++ {
 				sy := ty + y
 				if sy > py1-1 {
 					sy = py1 - 1
 				}
-				row := gray[sy*w:]
-				for x := 0; x < TexTile; x++ {
-					sx := tx + x
-					if sx > w-1 {
-						sx = w - 1
-					}
-					tile[y][x] = int32(row[sx])
+				row := gray[sy*w : sy*w+w : sy*w+w]
+				dst := tile[y][:]
+				n := w - tx
+				if n > TexTile {
+					n = TexTile
+				}
+				for x := 0; x < n; x++ {
+					dst[x] = int32(row[tx+x])
+				}
+				last := int32(row[w-1])
+				for x := n; x < TexTile; x++ {
+					dst[x] = last
 				}
 			}
 			a.haarTile(&tile)
@@ -54,44 +60,62 @@ func (a *TexAcc) AccumulateTexture(band *img.RGB, py0, py1 int) {
 
 // haarTile runs the 3-level 2-D Haar decomposition in place and
 // accumulates |coefficient| sums per subband.
+//
+// Both butterfly passes walk hoisted row slices: the row pass works on a
+// full-slice row, and the column pass is restructured row-major — the
+// source row pair (2y, 2y+1) produces the approximation row y and detail
+// row half+y of a scratch matrix, which is then copied back. (In-place
+// row-pair writes are impossible: row half+y is a later iteration's
+// source.) The strided per-column walk this replaces is the transform's
+// structural weakness on real SPEs (see the note at the bottom of this
+// file); here it just cost bounds checks and cache misses. All arithmetic
+// is integer, so the layout change is bit-identical to the column-major
+// pass (enforced by the reference-vs-optimized property test).
 func (a *TexAcc) haarTile(t *[TexTile][TexTile]int32) {
 	size := TexTile
 	var tmp [TexTile]int32
+	var sc [TexTile][TexTile]int32
 	for level := 0; level < texLevels; level++ {
 		half := size / 2
 		// Row pass on the current LL region.
 		for y := 0; y < size; y++ {
+			row := t[y][:size:size]
 			for x := 0; x < half; x++ {
-				p, q := t[y][2*x], t[y][2*x+1]
+				p, q := row[2*x], row[2*x+1]
 				tmp[x] = (p + q) >> 1 // approximation
 				tmp[half+x] = p - q   // detail
 			}
-			copy(t[y][:size], tmp[:size])
+			copy(row, tmp[:size])
 		}
-		// Column pass.
-		for x := 0; x < size; x++ {
-			for y := 0; y < half; y++ {
-				p, q := t[2*y][x], t[2*y+1][x]
-				tmp[y] = (p + q) >> 1
-				tmp[half+y] = p - q
+		// Column pass, row-major via the scratch matrix.
+		for y := 0; y < half; y++ {
+			r0 := t[2*y][:size:size]
+			r1 := t[2*y+1][:size:size]
+			approx := sc[y][:size:size]
+			detail := sc[half+y][:size:size]
+			for x := 0; x < size; x++ {
+				p, q := r0[x], r1[x]
+				approx[x] = (p + q) >> 1
+				detail[x] = p - q
 			}
-			for y := 0; y < size; y++ {
-				t[y][x] = tmp[y]
-			}
+		}
+		for y := 0; y < size; y++ {
+			copy(t[y][:size], sc[y][:size])
 		}
 		// Accumulate detail-band energies: HL (high x, low y), LH, HH.
 		var hl, lh, hh uint64
 		for y := 0; y < half; y++ {
-			for x := half; x < size; x++ {
-				hl += absU(t[y][x])
+			for _, v := range t[y][half:size] {
+				hl += absU(v)
 			}
 		}
 		for y := half; y < size; y++ {
-			for x := 0; x < half; x++ {
-				lh += absU(t[y][x])
+			row := t[y][:size:size]
+			for _, v := range row[:half] {
+				lh += absU(v)
 			}
-			for x := half; x < size; x++ {
-				hh += absU(t[y][x])
+			for _, v := range row[half:] {
+				hh += absU(v)
 			}
 		}
 		a.Energy[level*3+0] += hl
@@ -102,8 +126,8 @@ func (a *TexAcc) haarTile(t *[TexTile][TexTile]int32) {
 	// Final approximation band (size×size LL).
 	var ll uint64
 	for y := 0; y < size; y++ {
-		for x := 0; x < size; x++ {
-			ll += absU(t[y][x])
+		for _, v := range t[y][:size] {
+			ll += absU(v)
 		}
 	}
 	a.Energy[9] += ll

@@ -12,6 +12,7 @@ package mainmem
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Addr is an effective address in main memory.
@@ -30,6 +31,11 @@ type Memory struct {
 	free  []span          // sorted by base, coalesced
 	alloc map[Addr]uint32 // base -> size of live allocations
 
+	// touched is the high-water mark of Bytes views handed out; on
+	// Release only [0, touched) needs re-zeroing for the next New to see
+	// an all-zero memory.
+	touched uint32
+
 	// Stats
 	allocated   uint32
 	peak        uint32
@@ -41,6 +47,18 @@ type span struct {
 	size uint32
 }
 
+// Building a Memory is dominated by zeroing the backing store (256 MB
+// for the default machine) — a cost every simulated machine in a
+// multi-point sweep pays. Release recycles the store through this pool;
+// New re-zeroes only the prefix a previous machine actually touched, so
+// a recycled Memory is indistinguishable from a fresh one.
+var bufPool sync.Pool // holds *pooledBuf
+
+type pooledBuf struct {
+	data    []byte
+	touched uint32
+}
+
 // New returns a memory of the given size in bytes. Address 0 is reserved
 // (kept unallocatable) so that 0 can serve as a null address in wrappers.
 func New(size uint32) *Memory {
@@ -48,10 +66,34 @@ func New(size uint32) *Memory {
 		panic("mainmem: memory too small")
 	}
 	return &Memory{
-		data:  make([]byte, size),
+		data:  newData(size),
 		free:  []span{{base: AlignCacheLine, size: size - AlignCacheLine}},
 		alloc: make(map[Addr]uint32),
 	}
+}
+
+func newData(size uint32) []byte {
+	if v := bufPool.Get(); v != nil {
+		b := v.(*pooledBuf)
+		if uint32(len(b.data)) == size {
+			clear(b.data[:b.touched])
+			return b.data
+		}
+		// Wrong size: drop it and allocate fresh.
+	}
+	return make([]byte, size)
+}
+
+// Release returns the backing store to a process-wide pool for reuse by
+// a future New. The Memory must not be used afterwards (any access
+// panics). Calling Release is optional — an unreleased store is simply
+// garbage-collected.
+func (m *Memory) Release() {
+	if m.data == nil {
+		return
+	}
+	bufPool.Put(&pooledBuf{data: m.data, touched: m.touched})
+	m.data = nil
 }
 
 // Size returns the total memory size.
@@ -146,6 +188,9 @@ func (m *Memory) Bytes(addr Addr, n uint32) []byte {
 	end := uint64(addr) + uint64(n)
 	if end > uint64(len(m.data)) {
 		panic(fmt.Sprintf("mainmem: access [%#x,%#x) beyond memory size %#x", uint32(addr), end, len(m.data)))
+	}
+	if uint32(end) > m.touched {
+		m.touched = uint32(end)
 	}
 	return m.data[addr:end:end]
 }

@@ -188,3 +188,41 @@ func TestPropAllocatorInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReleaseRecyclesZeroed: a Memory built after a Release must see all
+// bytes zero, even where the released predecessor wrote — the pooled
+// backing store re-zeroes its touched prefix on reuse.
+func TestReleaseRecyclesZeroed(t *testing.T) {
+	const size = 1 << 20
+	m := New(size)
+	a := m.MustAlloc(4096, AlignCacheLine)
+	b := m.Bytes(a, 4096)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	// Touch a high address directly so the dirty prefix is large.
+	hi := m.Bytes(size-64, 64)
+	hi[0] = 0xCD
+	m.Release()
+
+	m2 := New(size)
+	got := m2.Bytes(0, size)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("recycled memory dirty at %#x: %#x", i, v)
+		}
+	}
+}
+
+// TestReleaseInvalidatesMemory: any access after Release panics.
+func TestReleaseInvalidatesMemory(t *testing.T) {
+	m := New(1 << 16)
+	m.Release()
+	m.Release() // double release is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes after Release did not panic")
+		}
+	}()
+	m.Bytes(0, 1)
+}

@@ -72,6 +72,7 @@ func RunDataParallelExtraction(id KernelID, nSPEs int, w Workload, v Variant, mc
 		return nil, fmt.Errorf("marvel: nSPEs %d out of range [1,%d]", nSPEs, cfg.NumSPEs)
 	}
 	machine := cell.New(cfg)
+	defer machine.Release()
 	image := img.Synthesize(w.Seed, w.W, w.H)
 	ref := referenceFeature(id, image)
 

@@ -1,6 +1,7 @@
 package marvel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -63,6 +64,31 @@ type PortedConfig struct {
 	Validate bool
 	// MachineConfig overrides the default machine when non-nil.
 	MachineConfig *cell.Config
+	// Artifacts selects the cache used for the image set, model set, and
+	// (when Validate is set) the reference run. Nil means the process-wide
+	// SharedArtifacts cache, unless NoCache is set.
+	Artifacts *ArtifactCache
+	// NoCache forces cold-path behaviour: every artifact is recomputed
+	// privately for this run. Ignored when Artifacts is non-nil.
+	NoCache bool
+}
+
+// ErrEmptyWorkload is returned by RunPorted when the workload has no
+// images: the per-image averages (PerImage, KernelTime) would be
+// meaningless and the schedules have nothing to execute.
+var ErrEmptyWorkload = errors.New("marvel: workload has no images")
+
+// artifacts resolves the cache a run should use: an explicit instance
+// wins, NoCache yields nil (the compute-privately path), and the default
+// is the process-wide shared cache.
+func (cfg *PortedConfig) artifacts() *ArtifactCache {
+	if cfg.Artifacts != nil {
+		return cfg.Artifacts
+	}
+	if cfg.NoCache {
+		return nil
+	}
+	return SharedArtifacts()
 }
 
 // PortedResult reports a ported run.
@@ -111,20 +137,28 @@ func scoreIndex(id KernelID) int {
 
 // RunPorted executes the ported MARVEL application on a simulated Cell.
 func RunPorted(cfg PortedConfig) (*PortedResult, error) {
+	w := cfg.Workload
+	if w.Images <= 0 {
+		return nil, fmt.Errorf("%w (Workload.Images = %d)", ErrEmptyWorkload, w.Images)
+	}
 	mcfg := cell.DefaultConfig()
 	if cfg.MachineConfig != nil {
 		mcfg = *cfg.MachineConfig
 	}
 	machine := cell.New(mcfg)
-	w := cfg.Workload
-	images := w.Generate()
-	ms, err := NewModelSet(w.Seed)
+	defer machine.Release()
+	arts := cfg.artifacts()
+	images := arts.Images(w)
+	ms, err := arts.ModelSet(w.Seed)
 	if err != nil {
 		return nil, err
 	}
 	var ref *ReferenceResult
 	if cfg.Validate {
-		ref = RunReference(mcfg.PPEModel, w, ms)
+		ref, err = arts.Reference(mcfg.PPEModel, w)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &PortedResult{

@@ -3,6 +3,7 @@ package marvel
 import (
 	"cellport/internal/cost"
 	"cellport/internal/features"
+	"cellport/internal/img"
 	"cellport/internal/profile"
 	"cellport/internal/sim"
 )
@@ -40,13 +41,19 @@ func (c *hostClock) charge(d sim.Duration) { c.now = c.now.Add(d) }
 // Feature values are computed for real; time comes from the calibrated
 // cost model.
 func RunReference(host *cost.Model, w Workload, ms *ModelSet) *ReferenceResult {
+	return runReference(host, w, ms, w.Generate())
+}
+
+// runReference is RunReference over a pre-generated image set, so an
+// ArtifactCache can feed the shared images instead of regenerating them.
+// images must equal w.Generate() for the result to be meaningful.
+func runReference(host *cost.Model, w Workload, ms *ModelSet, images []*img.RGB) *ReferenceResult {
 	clk := &hostClock{}
 	prof := profile.New(func() sim.Time { return clk.now })
 	res := &ReferenceResult{
 		Host:       host.Name,
 		KernelTime: make(map[KernelID]sim.Duration),
 	}
-	images := w.Generate()
 	pixels := float64(w.W * w.H)
 
 	prof.Enter("App", "main")

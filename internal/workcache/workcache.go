@@ -1,0 +1,98 @@
+// Package workcache provides a concurrency-safe memoization table with
+// singleflight semantics, used to share expensive deterministic workload
+// artifacts (generated image sets, trained model libraries, reference
+// runs) across the many independent simulation points of an experiment
+// sweep. The first goroutine to request a key computes the value while
+// holding a per-key latch; concurrent requesters for the same key block
+// on the latch and share the finished result instead of duplicating the
+// work. Values must be deterministic functions of their key and are
+// returned by reference, so callers must treat them as immutable.
+package workcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errPanicked is handed to waiters whose in-flight computation panicked;
+// the panic itself propagates in the computing goroutine.
+var errPanicked = errors.New("workcache: in-flight computation panicked")
+
+// Cache memoizes compute(key) results. The zero value is ready to use.
+// A Cache must not be copied after first use.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// entry is one key's slot: ready is closed once val/err are final.
+type entry[V any] struct {
+	ready chan struct{}
+	val   V
+	err   error
+}
+
+// Do returns the cached value for key, computing it with compute on the
+// first request. Concurrent callers for the same key wait for the single
+// in-flight computation rather than starting their own. Errors are cached
+// alongside values: the computation is assumed deterministic, so a failed
+// key fails identically on every lookup. If compute panics, the panic
+// propagates to the caller that ran it and the key is removed so a later
+// request retries instead of blocking forever.
+func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*entry[V])
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		c.hits.Add(1)
+		return e.val, e.err
+	}
+	e := &entry[V]{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	done := false
+	defer func() {
+		if !done { // compute panicked: unpoison the key, release waiters
+			e.err = errPanicked
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			close(e.ready)
+		}
+	}()
+	e.val, e.err = compute()
+	done = true
+	close(e.ready)
+	return e.val, e.err
+}
+
+// Len reports the number of cached keys (including in-flight ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports completed lookups that found an entry (hits, including
+// waits on an in-flight computation) and lookups that computed (misses).
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Flush drops every cached entry. In-flight computations still complete
+// for their waiters but are not retained. Intended for tests and cold-path
+// calibration; not for steady-state use.
+func (c *Cache[K, V]) Flush() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+}

@@ -1,0 +1,125 @@
+package workcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOnceAndShares(t *testing.T) {
+	var c Cache[int, string]
+	var calls atomic.Int64
+	for i := 0; i < 5; i++ {
+		v, err := c.Do(7, func() (string, error) {
+			calls.Add(1)
+			return "seven", nil
+		})
+		if err != nil || v != "seven" {
+			t.Fatalf("Do = %q, %v", v, err)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if hits, misses := c.Stats(); hits != 4 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 4/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestSingleflightUnderContention is the tentpole guarantee: many
+// goroutines requesting the same key concurrently trigger exactly one
+// computation, and all of them receive its result.
+func TestSingleflightUnderContention(t *testing.T) {
+	var c Cache[string, *[]int]
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const workers = 32
+	results := make([]*[]int, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, err := c.Do("k", func() (*[]int, error) {
+				calls.Add(1)
+				s := []int{1, 2, 3}
+				return &s, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", n)
+	}
+	for i, v := range results {
+		if v != results[0] {
+			t.Fatalf("worker %d received a different pointer: all callers must share one value", i)
+		}
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	var c Cache[int, int]
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, err := c.Do(1, func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1 (errors are deterministic)", calls)
+	}
+}
+
+func TestDistinctKeysComputeIndependently(t *testing.T) {
+	var c Cache[int, int]
+	for k := 0; k < 10; k++ {
+		v, err := c.Do(k, func() (int, error) { return k * k, nil })
+		if err != nil || v != k*k {
+			t.Fatalf("Do(%d) = %d, %v", k, v, err)
+		}
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", c.Len())
+	}
+}
+
+func TestFlushForcesRecompute(t *testing.T) {
+	var c Cache[int, int]
+	var calls int
+	compute := func() (int, error) { calls++; return 42, nil }
+	c.Do(1, compute)
+	c.Flush()
+	c.Do(1, compute)
+	if calls != 2 {
+		t.Fatalf("compute ran %d times across a Flush, want 2", calls)
+	}
+}
+
+func TestPanicUnpoisonsKey(t *testing.T) {
+	var c Cache[int, int]
+	func() {
+		defer func() { recover() }()
+		c.Do(1, func() (int, error) { panic("bang") })
+	}()
+	// The key must be retryable, not wedged.
+	v, err := c.Do(1, func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry after panic = %d, %v", v, err)
+	}
+}
