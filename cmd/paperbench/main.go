@@ -9,10 +9,14 @@
 //	paperbench -exp profile      # §5.2 profiling reproduction
 //	paperbench -exp naive        # §5.3 pre-optimization speed-ups
 //	paperbench -exp hosts        # §5.2 reference-machine ratios
+//	paperbench -exp faults       # fault injection + self-healing runtime
 //	paperbench -quick            # reduced frames/sets for a fast pass
 //	paperbench -parallel 4       # worker pool for independent runs
 //	paperbench -nocache          # recompute artifacts per run (cold path)
 //	paperbench -json out.json    # machine-readable sidecar ("-" = stdout)
+//	paperbench -faults <spec>    # explicit fault plan for -exp faults
+//	                             # (e.g. "crash:spe=0,at=5ms;dma-drop:spe=1,n=3")
+//	paperbench -faultseed 7      # seed-derived fault plan for -exp faults
 //
 // Independent simulation runs fan out over -parallel workers (default:
 // GOMAXPROCS); virtual-time results are identical at any setting. The
@@ -38,15 +42,18 @@ type jsonEntry struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults")
 	quick := flag.Bool("quick", false, "reduced frame size and image sets")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path (\"-\" for stdout)")
 	seed := flag.Uint64("seed", 20070710, "workload seed")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	nocache := flag.Bool("nocache", false, "recompute workload artifacts for every run (cold-path calibration)")
+	faultSpec := flag.String("faults", "", "explicit fault plan for -exp faults (kind:spe=N,...;... — see internal/fault)")
+	faultSeed := flag.Uint64("faultseed", 0, "seed for a derived fault plan when -faults is empty (0 = seed 1)")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, NoCache: *nocache}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, NoCache: *nocache,
+		FaultSpec: *faultSpec, FaultSeed: *faultSeed}
 	out := os.Stdout
 	tables := *jsonPath != "-" // "-" routes JSON to stdout instead of tables
 	jsonDoc := map[string]jsonEntry{}
@@ -162,6 +169,14 @@ func main() {
 		}
 		render(func() { experiments.RenderOverhead(out, rows) })
 		return rows, nil
+	})
+	run("faults", func() (any, error) {
+		r, err := experiments.FaultsExp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		render(func() { experiments.RenderFaults(out, r) })
+		return r, nil
 	})
 
 	if !matched {

@@ -9,6 +9,8 @@ import (
 
 	"cellport/internal/cost"
 	"cellport/internal/eib"
+	"cellport/internal/fault"
+	"cellport/internal/ls"
 	"cellport/internal/mainmem"
 	"cellport/internal/mfc"
 	"cellport/internal/sim"
@@ -89,6 +91,51 @@ func (m *Machine) SPE(i int) *spe.SPE {
 		panic(fmt.Sprintf("cell: SPE index %d out of range [0,%d)", i, len(m.SPEs)))
 	}
 	return m.SPEs[i]
+}
+
+// InjectFaults installs the injector's delivery hooks at every fault
+// choke point — local-store allocation, MFC command issue, mailbox
+// writes — and arms a timer for each planned SPE crash. Call before
+// RunMain. A machine that never calls InjectFaults has nil hooks
+// everywhere and takes its exact fault-free paths.
+func (m *Machine) InjectFaults(inj *fault.Injector) {
+	for i, s := range m.SPEs {
+		i, s := i, s
+		s.Store.SetAllocFault(func(size, align uint32) error {
+			if inj.AllocFault(i) {
+				return fmt.Errorf("%w: injected soft overflow (%d B, align %d)",
+					ls.ErrLocalStoreOverflow, size, align)
+			}
+			return nil
+		})
+		s.MFC.SetFaultHook(func() mfc.FaultAction {
+			switch inj.DMAAction(i) {
+			case fault.ActDrop:
+				return mfc.FaultDrop
+			case fault.ActCorrupt:
+				return mfc.FaultCorrupt
+			default:
+				return mfc.FaultNone
+			}
+		})
+		delay := func() sim.Duration { return inj.MboxDelay(i) }
+		s.InMbox.SetWriteDelay(delay)
+		s.OutMbox.SetWriteDelay(delay)
+		s.OutIntrMbox.SetWriteDelay(delay)
+	}
+	for _, f := range inj.CrashFaults() {
+		if f.SPE < 0 || f.SPE >= len(m.SPEs) {
+			continue
+		}
+		f := f
+		s := m.SPEs[f.SPE]
+		m.Engine.Schedule(f.At, func() {
+			if !s.Failed() {
+				s.Fail("injected crash")
+				inj.NoteCrash(f)
+			}
+		})
+	}
 }
 
 // RunMain spawns the PPE main program and runs the simulation to

@@ -39,6 +39,10 @@ const (
 	// ResultUnknownOpcode is written back when the dispatcher receives an
 	// opcode with no registered function.
 	ResultUnknownOpcode uint32 = 0xFFFFFFFE
+	// ResultDMAFault is written back when a transfer error (corrupted DMA
+	// delivery) was detected during the invocation; the invocation is
+	// retryable — its inputs in main memory are intact.
+	ResultDMAFault uint32 = 0xFFFFFFFD
 )
 
 // CompletionMode selects how the kernel reports completion (Listing 1
@@ -150,7 +154,11 @@ func BuildProgram(spec KernelSpec) (spe.Program, error) {
 					// Each invocation starts from a clean data region, as a
 					// real kernel's static buffers would be reused.
 					ctx.Store().Reset()
+					ctx.ClearDMAError()
 					result = fn(ctx, addr)
+					if ctx.DMAError() {
+						result = ResultDMAFault
+					}
 				} else {
 					result = ResultUnknownOpcode
 				}
@@ -192,6 +200,17 @@ func Open(ctx *cell.Context, speID int, spec KernelSpec) (*Interface, error) {
 
 // Name returns the kernel name.
 func (i *Interface) Name() string { return i.spec.Name }
+
+// Spec returns the kernel spec (so a supervisor can reopen the kernel on
+// another SPE).
+func (i *Interface) Spec() KernelSpec { return i.spec }
+
+// Abandon marks the interface closed without the OpExit handshake, for
+// SPEs that have crashed and can no longer answer mailbox traffic.
+func (i *Interface) Abandon() {
+	i.open = false
+	i.inFlight = false
+}
 
 // SPE returns the SPE index the kernel is scheduled on.
 func (i *Interface) SPE() int { return i.speID }

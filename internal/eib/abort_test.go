@@ -1,0 +1,99 @@
+package eib
+
+import (
+	"math"
+	"testing"
+
+	"cellport/internal/sim"
+)
+
+// TestAbortReleasesWaiterSkipsOnDone: aborting a mid-flight transfer
+// wakes its waiter immediately, marks it aborted, and does NOT run its
+// completion callback — the data never arrived.
+func TestAbortReleasesWaiterSkipsOnDone(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, DefaultConfig())
+	delivered := false
+	var tr *Transfer
+	var wokeAt sim.Time
+	e.Spawn("dma", func(p *sim.Proc) {
+		tr = b.Start(PortMemory, SPEPort(0), 25_600_000_000, func() { delivered = true }) // ~1 s
+		tr.Wait(p)
+		wokeAt = p.Now()
+	})
+	e.Spawn("killer", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		tr.Abort()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != sim.Time(sim.Millisecond) {
+		t.Errorf("waiter resumed at %v, want the abort time 1ms", wokeAt)
+	}
+	if !tr.Aborted() || !tr.Done() {
+		t.Errorf("Aborted=%v Done=%v, want true/true", tr.Aborted(), tr.Done())
+	}
+	if delivered {
+		t.Error("onDone ran for an aborted transfer")
+	}
+	if b.ActiveTransfers() != 0 {
+		t.Errorf("%d transfers still active after abort", b.ActiveTransfers())
+	}
+}
+
+// TestAbortFreesBandwidthForSurvivors: when one of two flows sharing the
+// memory port is aborted, the survivor's remaining bytes move at full
+// port rate — abort must trigger reallocation, not leak allocated
+// bandwidth.
+func TestAbortFreesBandwidthForSurvivors(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, DefaultConfig())
+	bw := b.Config().PortBandwidth
+	size := int64(bw) // 1 s alone at port bw
+	var victim *Transfer
+	var survivorDone sim.Time
+	e.Spawn("victim", func(p *sim.Proc) {
+		victim = b.Start(PortMemory, SPEPort(0), size, nil)
+		victim.Wait(p)
+	})
+	e.Spawn("survivor", func(p *sim.Proc) {
+		tr := b.Start(PortMemory, SPEPort(1), size, nil)
+		tr.Wait(p)
+		survivorDone = p.Now()
+	})
+	e.Spawn("killer", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(sim.Second / 2))
+		victim.Abort()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Shared memory port for 0.5 s (half rate each: 0.25 s of progress),
+	// then full rate for the remaining 0.75 s of bytes: 1.25 s total.
+	if got := survivorDone.Seconds(); math.Abs(got-1.25) > 1e-6 {
+		t.Fatalf("survivor finished at %.9fs, want 1.25s (bandwidth reclaimed on abort)", got)
+	}
+}
+
+// TestAbortIdempotentAndAfterDone: aborting twice, or aborting a transfer
+// that already completed, is a no-op.
+func TestAbortIdempotentAndAfterDone(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, DefaultConfig())
+	delivered := 0
+	e.Spawn("dma", func(p *sim.Proc) {
+		tr := b.Start(PortMemory, SPEPort(0), 1024, func() { delivered++ })
+		tr.Wait(p)
+		tr.Abort() // already done: must not unmark completion
+		if tr.Aborted() {
+			t.Error("Abort after completion marked the transfer aborted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("onDone ran %d times, want 1", delivered)
+	}
+}

@@ -96,6 +96,7 @@ type Transfer struct {
 	idx       int     // slot in bus.active
 	done      *sim.Queue
 	finished  bool
+	aborted   bool
 	timer     *sim.Timer
 	bus       *Bus
 	onDone    func()
@@ -138,6 +139,29 @@ func (t *Transfer) Wait(p *sim.Proc) {
 
 // Done reports whether the transfer has completed.
 func (t *Transfer) Done() bool { return t.finished }
+
+// Aborted reports whether the transfer was torn down by Abort.
+func (t *Transfer) Aborted() bool { return t.aborted }
+
+// Abort tears down an in-flight transfer: it stops consuming bandwidth,
+// its completion callback never runs, and waiters are released (they can
+// check Aborted). Aborting a finished transfer is a no-op.
+func (t *Transfer) Abort() {
+	if t.finished {
+		return
+	}
+	b := t.bus
+	b.advance()
+	if t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
+	b.removeActive(t)
+	t.aborted = true
+	t.finished = true // deliberately skips onDone: the data never arrived
+	t.done.WakeAll(b.engine)
+	b.reallocate()
+}
 
 func (t *Transfer) complete() {
 	t.finished = true

@@ -33,6 +33,12 @@ type Config struct {
 	// Artifacts, when non-nil, overrides the artifact cache used by all
 	// runs of this configuration (takes precedence over NoCache).
 	Artifacts *marvel.ArtifactCache
+	// FaultSpec is an explicit fault plan for the faults experiment
+	// (fault.Parse grammar). Empty selects a seeded plan.
+	FaultSpec string
+	// FaultSeed seeds the derived fault plan when FaultSpec is empty
+	// (0 selects seed 1).
+	FaultSeed uint64
 }
 
 // artifacts resolves the cache for this configuration's runs: an explicit

@@ -1,0 +1,270 @@
+// Package fault implements deterministic fault injection for the
+// simulated Cell machine. A Plan is a typed schedule of faults — SPE
+// crashes at a virtual time, dropped or corrupted DMA commands, mailbox
+// stalls, local-store soft overflows — either parsed from an explicit
+// spec string or derived from a seed. An Injector evaluates the plan
+// against a running simulation: delivery hooks installed at the hardware
+// model's choke points (cell.Machine.InjectFaults) consult it on every
+// countable operation. Matching is one-shot and purely count- or
+// virtual-time-triggered, with no host randomness, so two runs of the
+// same workload under the same plan inject identically and produce the
+// same event stream.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cellport/internal/sim"
+)
+
+// Kind is a fault type.
+type Kind int
+
+// The fault taxonomy (DESIGN.md §6).
+const (
+	// CrashSPE halts an SPE at virtual time At: its program is killed
+	// mid-flight, queued and in-flight DMA is aborted, and the SPE refuses
+	// all further program loads.
+	CrashSPE Kind = iota
+	// DMADrop makes the Nth DMA command issued by the SPE's MFC never
+	// complete: the transfer is lost and its tag stays pending forever
+	// (the classic hung-tag failure mode).
+	DMADrop
+	// DMACorrupt delivers the Nth DMA command's payload corrupted. The
+	// MFC detects it (modeled bus/transfer error) and flags the SPE
+	// context, so the dispatcher reports a retryable DMA-fault result.
+	DMACorrupt
+	// MboxStall delays the Nth mailbox write touching the SPE by Delay of
+	// virtual time (a congested or wedged MMIO path).
+	MboxStall
+	// LSOverflow makes the Nth local-store allocation on the SPE fail
+	// once (soft overflow: transient allocation pressure).
+	LSOverflow
+)
+
+var kindNames = [...]string{
+	CrashSPE:   "crash",
+	DMADrop:    "dma-drop",
+	DMACorrupt: "dma-corrupt",
+	MboxStall:  "mbox-stall",
+	LSOverflow: "ls-overflow",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+func parseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown fault kind %q", s)
+}
+
+// Fault is one planned fault.
+type Fault struct {
+	Kind Kind
+	// SPE selects the target SPE index.
+	SPE int
+	// At is the trigger time for CrashSPE.
+	At sim.Time
+	// Nth is the 1-based operation count that triggers the count-based
+	// kinds (DMA command, mailbox write, or LS allocation on the SPE).
+	Nth uint64
+	// Delay is the stall length for MboxStall.
+	Delay sim.Duration
+}
+
+// String renders the fault in the canonical spec grammar.
+func (f Fault) String() string {
+	switch f.Kind {
+	case CrashSPE:
+		return fmt.Sprintf("crash:spe=%d,at=%s", f.SPE, formatDur(sim.Duration(f.At)))
+	case MboxStall:
+		return fmt.Sprintf("%s:spe=%d,n=%d,delay=%s", f.Kind, f.SPE, f.Nth, formatDur(f.Delay))
+	default:
+		return fmt.Sprintf("%s:spe=%d,n=%d", f.Kind, f.SPE, f.Nth)
+	}
+}
+
+// Plan is an ordered fault schedule. The zero or nil plan is empty (no
+// injection; the runtime takes its exact fault-free paths).
+type Plan struct {
+	Faults []Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// String renders the plan in the spec grammar accepted by Parse.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, len(p.Faults))
+	for i, f := range p.Faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds a plan from a spec string: semicolon-separated faults of
+// the form kind:key=value,key=value. For example:
+//
+//	crash:spe=1,at=2ms;dma-drop:spe=0,n=3;dma-corrupt:spe=2,n=1;
+//	mbox-stall:spe=3,n=2,delay=500us;ls-overflow:spe=0,n=1
+//
+// Durations take an ns/us/ms/s suffix. An empty spec is an empty plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kindStr, args, _ := strings.Cut(entry, ":")
+		kind, err := parseKind(strings.TrimSpace(kindStr))
+		if err != nil {
+			return nil, err
+		}
+		f := Fault{Kind: kind, SPE: -1}
+		var haveAt, haveN, haveDelay bool
+		for _, kv := range strings.Split(args, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: %q: expected key=value, got %q", entry, kv)
+			}
+			switch key {
+			case "spe":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: %q: bad SPE index %q", entry, val)
+				}
+				f.SPE = n
+			case "at":
+				d, err := parseDur(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: %q: %w", entry, err)
+				}
+				f.At = sim.Time(d)
+				haveAt = true
+			case "n":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil || n == 0 {
+					return nil, fmt.Errorf("fault: %q: bad count %q (1-based)", entry, val)
+				}
+				f.Nth = n
+				haveN = true
+			case "delay":
+				d, err := parseDur(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: %q: %w", entry, err)
+				}
+				f.Delay = d
+				haveDelay = true
+			default:
+				return nil, fmt.Errorf("fault: %q: unknown key %q", entry, key)
+			}
+		}
+		if f.SPE < 0 {
+			return nil, fmt.Errorf("fault: %q: missing spe=", entry)
+		}
+		switch kind {
+		case CrashSPE:
+			if !haveAt {
+				return nil, fmt.Errorf("fault: %q: crash needs at=<time>", entry)
+			}
+		case MboxStall:
+			if !haveN || !haveDelay {
+				return nil, fmt.Errorf("fault: %q: mbox-stall needs n= and delay=", entry)
+			}
+		default:
+			if !haveN {
+				return nil, fmt.Errorf("fault: %q: %s needs n=<count>", entry, kind)
+			}
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}
+
+// parseDur parses a duration with an ns/us/ms/s suffix.
+func parseDur(s string) (sim.Duration, error) {
+	units := []struct {
+		suffix string
+		unit   sim.Duration
+	}{
+		{"ns", sim.Nanosecond},
+		{"us", sim.Microsecond},
+		{"ms", sim.Millisecond},
+		{"s", sim.Second},
+	}
+	for _, u := range units {
+		if num, ok := strings.CutSuffix(s, u.suffix); ok {
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("bad duration %q", s)
+			}
+			return sim.Duration(v * float64(u.unit)), nil
+		}
+	}
+	return 0, fmt.Errorf("duration %q needs an ns/us/ms/s suffix", s)
+}
+
+// formatDur renders a duration exactly, using the largest suffix that
+// divides it (so Parse round-trips the value bit-for-bit).
+func formatDur(d sim.Duration) string {
+	switch {
+	case d%sim.Second == 0 && d != 0:
+		return fmt.Sprintf("%ds", d/sim.Second)
+	case d%sim.Millisecond == 0 && d != 0:
+		return fmt.Sprintf("%dms", d/sim.Millisecond)
+	case d%sim.Microsecond == 0 && d != 0:
+		return fmt.Sprintf("%dus", d/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", d/sim.Nanosecond)
+	}
+}
+
+// splitmix64 is the PRNG behind Seeded: tiny, well-mixed, and fully
+// reproducible across platforms.
+type splitmix64 uint64
+
+func (r *splitmix64) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix64) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Seeded derives an adversarial plan from a seed: one fault of every
+// count-based kind plus one SPE crash, with targets and trigger points
+// drawn from a splitmix64 stream. The same (seed, numSPEs) pair always
+// yields the same plan.
+func Seeded(seed uint64, numSPEs int) *Plan {
+	if numSPEs <= 0 {
+		return &Plan{}
+	}
+	r := splitmix64(seed)
+	return &Plan{Faults: []Fault{
+		{Kind: CrashSPE, SPE: r.intn(numSPEs), At: sim.Time((2 + r.intn(8))) * sim.Time(sim.Millisecond)},
+		{Kind: DMADrop, SPE: r.intn(numSPEs), Nth: uint64(1 + r.intn(8))},
+		{Kind: DMACorrupt, SPE: r.intn(numSPEs), Nth: uint64(1 + r.intn(8))},
+		{Kind: MboxStall, SPE: r.intn(numSPEs), Nth: uint64(1 + r.intn(4)), Delay: sim.Duration(100+r.intn(900)) * sim.Microsecond},
+		{Kind: LSOverflow, SPE: r.intn(numSPEs), Nth: uint64(1 + r.intn(4))},
+	}}
+}

@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"fmt"
+
+	"cellport/internal/sim"
+)
+
+// Action is the injector's verdict for one DMA command.
+type Action int
+
+// DMA command verdicts.
+const (
+	ActNone Action = iota
+	ActDrop
+	ActCorrupt
+)
+
+// Event records one injected fault occurrence.
+type Event struct {
+	Kind   string   `json:"kind"`
+	SPE    int      `json:"spe"`
+	At     sim.Time `json:"at_fs"`
+	Detail string   `json:"detail"`
+}
+
+// Report is the structured fault record a supervised run surfaces: the
+// plan, what actually fired, and how the supervision loop recovered.
+// Counter fields are mutated by the supervisor as it handles faults.
+type Report struct {
+	// Spec is the canonical plan (Parse-able).
+	Spec string `json:"spec"`
+	// Planned counts the plan's faults; Injected lists those that fired.
+	Planned  int     `json:"planned"`
+	Injected []Event `json:"injected"`
+	// Supervision-loop outcomes.
+	Retries          int          `json:"retries"`
+	Redispatches     int          `json:"redispatches"`
+	Fallbacks        int          `json:"fallbacks"`
+	WatchdogTimeouts int          `json:"watchdog_timeouts"`
+	SPEsLost         []int        `json:"spes_lost,omitempty"`
+	BackoffTime      sim.Duration `json:"backoff_fs"`
+	// DegradedTime is PPE virtual time spent executing kernels that fell
+	// back to host-side execution.
+	DegradedTime sim.Duration `json:"degraded_fs"`
+}
+
+type pendingFault struct {
+	Fault
+	fired bool
+}
+
+// Injector evaluates a plan against one simulation run. Delivery hooks
+// call the count-based methods on every countable operation; matching is
+// one-shot per fault. All bookkeeping uses slices indexed by SPE, so the
+// injector itself introduces no iteration-order nondeterminism.
+type Injector struct {
+	engine  *sim.Engine
+	pending []pendingFault
+	rep     Report
+
+	dmaOps   []uint64 // DMA commands issued per SPE
+	mboxOps  []uint64 // mailbox writes touching each SPE
+	allocOps []uint64 // LS allocations per SPE
+}
+
+// NewInjector binds a plan to an engine for a machine with numSPEs SPEs.
+func NewInjector(e *sim.Engine, p *Plan, numSPEs int) *Injector {
+	in := &Injector{
+		engine:   e,
+		dmaOps:   make([]uint64, numSPEs),
+		mboxOps:  make([]uint64, numSPEs),
+		allocOps: make([]uint64, numSPEs),
+	}
+	if p != nil {
+		in.rep.Spec = p.String()
+		in.rep.Planned = len(p.Faults)
+		for _, f := range p.Faults {
+			in.pending = append(in.pending, pendingFault{Fault: f})
+		}
+	}
+	return in
+}
+
+// Report returns the run's mutable fault report.
+func (in *Injector) Report() *Report { return &in.rep }
+
+// CrashFaults lists the planned SPE-crash faults, for timer wiring.
+func (in *Injector) CrashFaults() []Fault {
+	var out []Fault
+	for _, f := range in.pending {
+		if f.Kind == CrashSPE {
+			out = append(out, f.Fault)
+		}
+	}
+	return out
+}
+
+// NoteCrash records a crash fault as injected (called by the wiring when
+// its timer fires and actually kills the SPE).
+func (in *Injector) NoteCrash(f Fault) {
+	for i := range in.pending {
+		p := &in.pending[i]
+		if !p.fired && p.Kind == CrashSPE && p.SPE == f.SPE && p.At == f.At {
+			p.fired = true
+			in.note(p.Fault, "SPE killed")
+			return
+		}
+	}
+}
+
+// DMAAction counts one DMA command on the SPE and returns the planned
+// verdict for it.
+func (in *Injector) DMAAction(spe int) Action {
+	if spe < 0 || spe >= len(in.dmaOps) {
+		return ActNone
+	}
+	in.dmaOps[spe]++
+	n := in.dmaOps[spe]
+	for i := range in.pending {
+		f := &in.pending[i]
+		if f.fired || f.SPE != spe || f.Nth != n {
+			continue
+		}
+		switch f.Kind {
+		case DMADrop:
+			f.fired = true
+			in.note(f.Fault, fmt.Sprintf("DMA command %d dropped", n))
+			return ActDrop
+		case DMACorrupt:
+			f.fired = true
+			in.note(f.Fault, fmt.Sprintf("DMA command %d corrupted", n))
+			return ActCorrupt
+		}
+	}
+	return ActNone
+}
+
+// MboxDelay counts one mailbox write touching the SPE and returns the
+// stall to apply before it (zero for none).
+func (in *Injector) MboxDelay(spe int) sim.Duration {
+	if spe < 0 || spe >= len(in.mboxOps) {
+		return 0
+	}
+	in.mboxOps[spe]++
+	n := in.mboxOps[spe]
+	for i := range in.pending {
+		f := &in.pending[i]
+		if f.fired || f.Kind != MboxStall || f.SPE != spe || f.Nth != n {
+			continue
+		}
+		f.fired = true
+		in.note(f.Fault, fmt.Sprintf("mailbox write %d stalled %s", n, f.Delay))
+		return f.Delay
+	}
+	return 0
+}
+
+// AllocFault counts one local-store allocation on the SPE and reports
+// whether it should fail (soft overflow).
+func (in *Injector) AllocFault(spe int) bool {
+	if spe < 0 || spe >= len(in.allocOps) {
+		return false
+	}
+	in.allocOps[spe]++
+	n := in.allocOps[spe]
+	for i := range in.pending {
+		f := &in.pending[i]
+		if f.fired || f.Kind != LSOverflow || f.SPE != spe || f.Nth != n {
+			continue
+		}
+		f.fired = true
+		in.note(f.Fault, fmt.Sprintf("LS allocation %d failed", n))
+		return true
+	}
+	return false
+}
+
+func (in *Injector) note(f Fault, detail string) {
+	in.rep.Injected = append(in.rep.Injected, Event{
+		Kind:   f.Kind.String(),
+		SPE:    f.SPE,
+		At:     in.engine.Now(),
+		Detail: detail,
+	})
+}

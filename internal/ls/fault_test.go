@@ -1,0 +1,80 @@
+package ls
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllocOverflowFaultTyped: capacity exhaustion wraps the typed
+// sentinel so supervisors can match it with errors.Is.
+func TestAllocOverflowFaultTyped(t *testing.T) {
+	l := New()
+	if _, err := l.Alloc(Size-DefaultStackBytes, 16); err != nil {
+		t.Fatalf("filling alloc: %v", err)
+	}
+	_, err := l.Alloc(16, 16)
+	if !errors.Is(err, ErrLocalStoreOverflow) {
+		t.Fatalf("overflow err = %v, want ErrLocalStoreOverflow", err)
+	}
+}
+
+// TestInjectedAllocFault: the injection hook fails exactly the
+// allocations it chooses, the failure carries the sentinel, and clearing
+// the hook restores normal service.
+func TestInjectedAllocFault(t *testing.T) {
+	l := New()
+	calls := 0
+	l.SetAllocFault(func(size, align uint32) error {
+		calls++
+		if calls == 2 {
+			return fmt.Errorf("%w: injected soft overflow (%d B, align %d)",
+				ErrLocalStoreOverflow, size, align)
+		}
+		return nil
+	})
+	if _, err := l.Alloc(64, 16); err != nil {
+		t.Fatalf("alloc 1: %v", err)
+	}
+	_, err := l.Alloc(64, 16)
+	if !errors.Is(err, ErrLocalStoreOverflow) {
+		t.Fatalf("injected fault err = %v, want ErrLocalStoreOverflow", err)
+	}
+	if _, err := l.Alloc(64, 16); err != nil {
+		t.Fatalf("alloc 3 after one-shot fault: %v", err)
+	}
+	l.SetAllocFault(nil)
+	if _, err := l.Alloc(64, 16); err != nil {
+		t.Fatalf("alloc with hook cleared: %v", err)
+	}
+	if free := l.Free(); free != Size-DefaultStackBytes-3*64 {
+		t.Errorf("failed alloc consumed space: %d B free", free)
+	}
+}
+
+// TestMustAllocPanicContext: the panic message carries enough context to
+// diagnose a buffer-plan bug without a debugger — request size,
+// alignment, and the store's occupancy.
+func TestMustAllocPanicContext(t *testing.T) {
+	l := New()
+	if err := l.LoadProgram(4096); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustAlloc on an overcommitted store did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"MustAlloc(1048576 B", "align 128", "free", "code 4096 B", "out of local store"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	l.MustAlloc(1<<20, 128)
+}

@@ -4,7 +4,15 @@
 // constraint that forces the paper's sliced DMA processing (§3.4).
 package ls
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrLocalStoreOverflow is the typed sentinel wrapped by every
+// out-of-capacity (or injected soft-overflow) allocation failure, so
+// callers can distinguish capacity faults from porting bugs.
+var ErrLocalStoreOverflow = errors.New("ls: out of local store")
 
 // Size is the architected local store capacity in bytes.
 const Size = 256 * 1024
@@ -23,7 +31,13 @@ type LocalStore struct {
 	brk   uint32 // next free data address
 	stack uint32 // bytes reserved at the top
 	peak  uint32
+	// fault, when set, is consulted before every Alloc; a non-nil return
+	// fails that allocation (deterministic soft-overflow injection).
+	fault func(size, align uint32) error
 }
+
+// SetAllocFault installs (or clears, with nil) the allocation fault hook.
+func (l *LocalStore) SetAllocFault(h func(size, align uint32) error) { l.fault = h }
 
 // New returns an empty local store with the default stack reservation.
 func New() *LocalStore {
@@ -57,11 +71,16 @@ func (l *LocalStore) Alloc(size, align uint32) (Addr, error) {
 	if align == 0 || align&(align-1) != 0 {
 		return 0, fmt.Errorf("ls: alignment %d not a power of two", align)
 	}
+	if l.fault != nil {
+		if err := l.fault(size, align); err != nil {
+			return 0, err
+		}
+	}
 	base := (l.brk + align - 1) &^ (align - 1)
 	end := uint64(base) + uint64(size)
 	if end > uint64(Size-l.stack) {
-		return 0, fmt.Errorf("ls: out of local store: need %d B at %#x, %d B available (code %d B, stack %d B)",
-			size, base, Size-l.stack-l.brk, l.code, l.stack)
+		return 0, fmt.Errorf("%w: need %d B at %#x, %d B available (code %d B, stack %d B)",
+			ErrLocalStoreOverflow, size, base, Size-l.stack-l.brk, l.code, l.stack)
 	}
 	l.brk = uint32(end)
 	if l.brk > l.peak {
@@ -75,7 +94,8 @@ func (l *LocalStore) Alloc(size, align uint32) (Addr, error) {
 func (l *LocalStore) MustAlloc(size, align uint32) Addr {
 	a, err := l.Alloc(size, align)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ls: MustAlloc(%d B, align %d) on a store with %d B free (code %d B): %v",
+			size, align, l.Free(), l.code, err))
 	}
 	return a
 }

@@ -144,7 +144,8 @@ func (m *Memory) Alloc(size, align uint32) (Addr, error) {
 func (m *Memory) MustAlloc(size, align uint32) Addr {
 	a, err := m.Alloc(size, align)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("mainmem: MustAlloc(%d B, align %d) with %d B live of %d B total: %v",
+			size, align, m.allocated, len(m.data), err))
 	}
 	return a
 }

@@ -81,7 +81,10 @@ func DetectKernelSpec(v Variant) core.KernelSpec {
 	cal := Cal(KCD)
 	fn := func(ctx *spe.Context, wrapper mainmem.Addr) uint32 {
 		st := ctx.Store()
-		hdrLS := st.MustAlloc(hdrBytes, 16)
+		hdrLS, err := st.Alloc(hdrBytes, 16)
+		if err != nil {
+			return resErr
+		}
 		if err := ctx.Get(hdrLS, wrapper, hdrBytes, 0); err != nil {
 			return resErr
 		}
@@ -95,15 +98,24 @@ func DetectKernelSpec(v Variant) core.KernelSpec {
 
 		// Feature vector.
 		featBytes := pad16(uint32(dim) * 4)
-		featLS := st.MustAlloc(featBytes, 16)
+		featLS, err := st.Alloc(featBytes, 16)
+		if err != nil {
+			return resErr
+		}
 		if err := ctx.Get(featLS, wrapper+mainmem.Addr(detectFeatureOff()), featBytes, 0); err != nil {
 			return resErr
 		}
 		// Model header + coefficients (small; fetched together with the
 		// feature under tag 0).
-		mHdrLS := st.MustAlloc(hdrBytes, 16)
+		mHdrLS, err := st.Alloc(hdrBytes, 16)
+		if err != nil {
+			return resErr
+		}
 		coeffBytes := pad16(uint32(numSV) * 4)
-		coeffLS := st.MustAlloc(coeffBytes, 16)
+		coeffLS, err := st.Alloc(coeffBytes, 16)
+		if err != nil {
+			return resErr
+		}
 		if err := ctx.Get(mHdrLS, modelEA, hdrBytes, 0); err != nil {
 			return resErr
 		}
@@ -134,7 +146,9 @@ func DetectKernelSpec(v Variant) core.KernelSpec {
 		}
 		var bufs [2]ls.Addr
 		for i := 0; i < buffers; i++ {
-			bufs[i] = st.MustAlloc(pad16(chunkBytes), 16)
+			if bufs[i], err = st.Alloc(pad16(chunkBytes), 16); err != nil {
+				return resErr
+			}
 		}
 		nChunks := (numSV + chunkRows - 1) / chunkRows
 		svEA := modelEA + hdrBytes + mainmem.Addr(coeffBytes)
@@ -194,7 +208,10 @@ func DetectKernelSpec(v Variant) core.KernelSpec {
 		}
 
 		// Report the decision: score field + classification bit.
-		scoreLS := st.MustAlloc(scoreBytes, 16)
+		scoreLS, err := st.Alloc(scoreBytes, 16)
+		if err != nil {
+			return resErr
+		}
 		sb := st.Bytes(scoreLS, scoreBytes)
 		core.PutFloat32s(sb[:4], []float32{float32(sum)})
 		class := uint32(0)

@@ -201,7 +201,10 @@ func ExtractKernelSpec(id KernelID, v Variant) core.KernelSpec {
 	g := kernelGeom(id)
 	fn := func(ctx *spe.Context, wrapper mainmem.Addr, partial bool) uint32 {
 		st := ctx.Store()
-		hdrLS := st.MustAlloc(exHdrBytes, 16)
+		hdrLS, err := st.Alloc(exHdrBytes, 16)
+		if err != nil {
+			return resErr
+		}
 		if err := ctx.Get(hdrLS, wrapper, exHdrBytes, 0); err != nil {
 			return resErr
 		}
@@ -234,12 +237,20 @@ func ExtractKernelSpec(id KernelID, v Variant) core.KernelSpec {
 		}
 		var bufs [2]ls.Addr
 		for i := 0; i < buffers; i++ {
-			bufs[i] = st.MustAlloc(uint32(maxRows*stride), 16)
+			if bufs[i], err = st.Alloc(uint32(maxRows*stride), 16); err != nil {
+				return resErr
+			}
 			if g.scratchRows > 0 {
-				st.MustAlloc(uint32(maxRows*w*g.scratchRows), 16) // bins/gray scratch
+				// bins/gray scratch
+				if _, err = st.Alloc(uint32(maxRows*w*g.scratchRows), 16); err != nil {
+					return resErr
+				}
 			}
 		}
-		outLS := st.MustAlloc(oBytes, 16)
+		outLS, err := st.Alloc(oBytes, 16)
+		if err != nil {
+			return resErr
+		}
 
 		acc := g.newAcc()
 		fetch := func(i, tag int) error {

@@ -7,6 +7,8 @@ import (
 
 	"cellport/internal/cell"
 	"cellport/internal/core"
+	"cellport/internal/fault"
+	"cellport/internal/features"
 	"cellport/internal/img"
 	"cellport/internal/mainmem"
 	"cellport/internal/sim"
@@ -71,6 +73,14 @@ type PortedConfig struct {
 	// NoCache forces cold-path behaviour: every artifact is recomputed
 	// privately for this run. Ignored when Artifacts is non-nil.
 	NoCache bool
+	// Faults, when non-empty, arms deterministic fault injection and the
+	// self-healing supervision loop. A nil or empty plan leaves every
+	// fault hook uninstalled: the run is byte-identical to one without
+	// fault support.
+	Faults *fault.Plan
+	// Watchdog overrides the supervision watchdog timeout (zero selects
+	// DefaultWatchdog). Only consulted when Faults is armed.
+	Watchdog sim.Duration
 }
 
 // ErrEmptyWorkload is returned by RunPorted when the workload has no
@@ -114,6 +124,9 @@ type PortedResult struct {
 	// exactly, whether the run executed sequentially or inside the
 	// parallel experiment harness.
 	EventCount uint64
+	// Faults is the structured fault report (nil when no plan was armed):
+	// what was injected and how the supervision loop recovered.
+	Faults *fault.Report
 }
 
 // extractOrder lists extraction kernels in expected-completion order for
@@ -166,10 +179,15 @@ func RunPorted(cfg PortedConfig) (*PortedResult, error) {
 		Variant:    cfg.Variant,
 		KernelTime: make(map[KernelID]sim.Duration),
 	}
+	var inj *fault.Injector
+	if !cfg.Faults.Empty() {
+		inj = fault.NewInjector(machine.Engine, cfg.Faults, mcfg.NumSPEs)
+		machine.InjectFaults(inj)
+	}
 	var runErr error
 
 	elapsed, err := machine.RunMain("marvel", func(ctx *cell.Context) {
-		runErr = portedMain(ctx, cfg, images, ms, ref, res)
+		runErr = portedMain(ctx, cfg, inj, images, ms, ref, res)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("marvel: simulation: %w", err)
@@ -188,11 +206,14 @@ func RunPorted(cfg PortedConfig) (*PortedResult, error) {
 		res.SPEBusy = append(res.SPEBusy, s.BusyTime())
 	}
 	res.EventCount = machine.Engine.EventCount
+	if inj != nil {
+		res.Faults = inj.Report()
+	}
 	return res, nil
 }
 
 // portedMain is the PPE main application after porting (Listing 4 shape).
-func portedMain(ctx *cell.Context, cfg PortedConfig, images []*img.RGB, ms *ModelSet, ref *ReferenceResult, res *PortedResult) error {
+func portedMain(ctx *cell.Context, cfg PortedConfig, inj *fault.Injector, images []*img.RGB, ms *ModelSet, ref *ReferenceResult, res *PortedResult) error {
 	mem := ctx.Memory()
 	w := cfg.Workload
 	pixels := float64(w.W * w.H)
@@ -233,33 +254,105 @@ func portedMain(ctx *cell.Context, cfg PortedConfig, images []*img.RGB, ms *Mode
 		return err
 	}
 
+	// PPE fallback closures for graceful degradation: each reproduces its
+	// SPE kernel's outputs bit-for-bit by running the same feature/SVM
+	// code against the wrapper in main memory, charging reference-style
+	// PPE time.
+	extractFallback := func(id KernelID) fallbackFunc {
+		return func(wrapper mainmem.Addr) uint32 {
+			hdr := core.GetUint32s(mem.Bytes(wrapper, exHdrBytes))
+			iw, ih, stride := int(hdr[0]), int(hdr[1]), int(hdr[2])
+			pixEA := mainmem.Addr(hdr[3])
+			y0, y1 := int(hdr[4]), int(hdr[5])
+			if iw <= 0 || ih <= 0 || stride < 3*iw || y0 != 0 || y1 != ih {
+				return resErr
+			}
+			im := img.Wrap(mem.Bytes(pixEA, uint32(stride*ih)), iw, ih, stride)
+			var vec []float32
+			switch id {
+			case KCH:
+				vec = features.ColorHistogram(im)
+			case KCC:
+				vec = features.ColorCorrelogram(im)
+			case KEH:
+				vec = features.EdgeHistogram(im)
+			default:
+				vec = features.Texture(im)
+			}
+			cal := Cal(id)
+			ctx.ComputeBranches(cal.NomBranchesPerPixel*pixels, -1, id.String()+"-ppe")
+			ctx.ComputeScalar(cal.NomOpsPerPixel*pixels*cal.HostOpsMult, id.String()+"-ppe")
+			core.PutFloat32s(mem.Bytes(wrapper+mainmem.Addr(extractOutOff()), uint32(len(vec)*4)), vec)
+			return resOK
+		}
+	}
+	detectFallback := func(wrapper mainmem.Addr) uint32 {
+		hdr := core.GetUint32s(mem.Bytes(wrapper, hdrBytes))
+		dim, numSV := int(hdr[0]), int(hdr[1])
+		modelEA := mainmem.Addr(hdr[2])
+		if dim <= 0 || numSV <= 0 {
+			return resErr
+		}
+		// Locate the placed model by effective address; the match is
+		// unique, so map order does not matter.
+		var model *PlacedModel
+		for _, p := range models {
+			if p.pm.EA == modelEA {
+				model = p.pm
+				break
+			}
+		}
+		if model == nil || model.Dim != dim || model.NumSV != numSV {
+			return resErr
+		}
+		feature := core.GetFloat32s(mem.Bytes(wrapper+mainmem.Addr(detectFeatureOff()), uint32(dim)*4))
+		sum := model.refModel.Decision(feature)
+		ctx.ComputeScalar(detectNomOps(numSV, dim)*Cal(KCD).HostOpsMult, "detect-ppe")
+		sb := mem.Bytes(wrapper+mainmem.Addr(detectScoreOff(dim)), scoreBytes)
+		core.PutFloat32s(sb[:4], []float32{float32(sum)})
+		class := uint32(0)
+		if sum > 0 {
+			class = 1
+		}
+		core.PutUint32s(sb[4:8], []uint32{class})
+		return resOK
+	}
+
 	// Kernel placement: extraction kernels on SPE0-3; detection on SPE4
-	// (SingleSPE, MultiSPE) or replicated on SPE4-7 (MultiSPE2).
-	extract := map[KernelID]*core.Interface{}
+	// (SingleSPE, MultiSPE) or replicated on SPE4-7 (MultiSPE2). Under
+	// supervision, SPEs beyond the planned set form the redispatch pool.
+	sup := newSupervisor(ctx, inj, cfg.Watchdog)
+	switch cfg.Scenario {
+	case MultiSPE2, Pipelined:
+		sup.reserve(0, 1, 2, 3, 4, 5, 6, 7)
+	default:
+		sup.reserve(0, 1, 2, 3, 4)
+	}
+	extract := map[KernelID]*kern{}
 	for i, id := range []KernelID{KCH, KCC, KTX, KEH} {
-		iface, err := core.Open(ctx, i, ExtractKernelSpec(id, cfg.Variant))
+		k, err := sup.open(i, ExtractKernelSpec(id, cfg.Variant), extractFallback(id))
 		if err != nil {
 			return err
 		}
-		extract[id] = iface
+		extract[id] = k
 	}
-	detect := map[KernelID]*core.Interface{}
+	detect := map[KernelID]*kern{}
 	switch cfg.Scenario {
 	case MultiSPE2, Pipelined:
 		for i, id := range []KernelID{KCH, KCC, KTX, KEH} {
-			iface, err := core.Open(ctx, 4+i, DetectKernelSpec(cfg.Variant))
+			k, err := sup.open(4+i, DetectKernelSpec(cfg.Variant), detectFallback)
 			if err != nil {
 				return err
 			}
-			detect[id] = iface
+			detect[id] = k
 		}
 	default:
-		iface, err := core.Open(ctx, 4, DetectKernelSpec(cfg.Variant))
+		k, err := sup.open(4, DetectKernelSpec(cfg.Variant), detectFallback)
 		if err != nil {
 			return err
 		}
 		for _, id := range []KernelID{KCH, KCC, KTX, KEH} {
-			detect[id] = iface
+			detect[id] = k
 		}
 	}
 	res.OneTime = ctx.Now().Sub(start)
@@ -352,13 +445,14 @@ func portedMain(ctx *cell.Context, cfg PortedConfig, images []*img.RGB, ms *Mode
 			return err
 		}
 	}
-	closed := map[*core.Interface]bool{}
-	for _, iface := range detect {
-		if !closed[iface] {
-			if err := iface.Close(); err != nil {
+	closed := map[*kern]bool{}
+	for _, id := range []KernelID{KCH, KCC, KTX, KEH} {
+		k := detect[id]
+		if !closed[k] {
+			if err := k.Close(); err != nil {
 				return err
 			}
-			closed[iface] = true
+			closed[k] = true
 		}
 	}
 	for b := 0; b < numBufs; b++ {
@@ -389,7 +483,7 @@ func runSequentialScenarios(
 	cfg PortedConfig,
 	images []*img.RGB,
 	exWrap, dtWrap map[KernelID]*core.Wrapper,
-	extract, detect map[KernelID]*core.Interface,
+	extract, detect map[KernelID]*kern,
 	preprocessInto func(*img.RGB, int),
 	feedDetector func(KernelID),
 	readFeature func(KernelID) []float32,
@@ -401,9 +495,9 @@ func runSequentialScenarios(
 		preprocessInto(im, 0)
 
 		var r ImageResult
-		invoke := func(id KernelID, iface *core.Interface, wrapper mainmem.Addr) error {
+		invoke := func(id KernelID, k *kern, wrapper mainmem.Addr) error {
 			t0 := ctx.Now()
-			code, err := iface.SendAndWait(OpRun, wrapper)
+			code, err := k.SendAndWait(OpRun, wrapper)
 			if err != nil {
 				return err
 			}
@@ -513,7 +607,7 @@ func runPipelined(
 	images []*img.RGB,
 	exWraps []map[KernelID]*core.Wrapper,
 	dtWrap map[KernelID]*core.Wrapper,
-	extract, detect map[KernelID]*core.Interface,
+	extract, detect map[KernelID]*kern,
 	preprocessInto func(*img.RGB, int),
 	feedDetectorSet func(map[KernelID]*core.Wrapper, KernelID),
 	readFeatureSet func(map[KernelID]*core.Wrapper, KernelID) []float32,

@@ -6,6 +6,9 @@
 package mbox
 
 import (
+	"errors"
+	"fmt"
+
 	"cellport/internal/sim"
 )
 
@@ -14,6 +17,11 @@ const (
 	InboundDepth  = 4
 	OutboundDepth = 1
 )
+
+// ErrMailboxFull is the typed sentinel reported by WriteNonBlocking on a
+// full FIFO, so callers can distinguish capacity pressure from protocol
+// bugs.
+var ErrMailboxFull = errors.New("mbox: mailbox full")
 
 // Mailbox is a fixed-capacity 32-bit FIFO with blocking semantics on both
 // sides, in virtual time.
@@ -24,10 +32,16 @@ type Mailbox struct {
 	fifo     []uint32
 	notEmpty *sim.Queue
 	notFull  *sim.Queue
+	// writeDelay, when set, stalls each blocking Write by the returned
+	// duration before it enqueues (deterministic fault injection).
+	writeDelay func() sim.Duration
 
 	writes uint64
 	reads  uint64
 }
+
+// SetWriteDelay installs (or clears, with nil) the per-write stall hook.
+func (m *Mailbox) SetWriteDelay(h func() sim.Duration) { m.writeDelay = h }
 
 // NewMailbox returns a mailbox with the given entry capacity.
 func NewMailbox(e *sim.Engine, name string, capacity int) *Mailbox {
@@ -54,21 +68,32 @@ func (m *Mailbox) Space() int { return m.capacity - len(m.fifo) }
 
 // Write enqueues v, blocking the calling process until space is available.
 func (m *Mailbox) Write(p *sim.Proc, v uint32) {
+	if m.writeDelay != nil {
+		if d := m.writeDelay(); d > 0 {
+			p.Sleep(d)
+		}
+	}
 	p.WaitFor(m.notFull, func() bool { return len(m.fifo) < m.capacity })
 	m.fifo = append(m.fifo, v)
 	m.writes++
 	m.notEmpty.WakeAll(m.engine)
 }
 
-// TryWrite enqueues v without blocking; it reports whether it succeeded.
-func (m *Mailbox) TryWrite(v uint32) bool {
+// WriteNonBlocking enqueues v if space is available, or fails with a
+// wrapped ErrMailboxFull.
+func (m *Mailbox) WriteNonBlocking(v uint32) error {
 	if len(m.fifo) >= m.capacity {
-		return false
+		return fmt.Errorf("%s (%d/%d entries): %w", m.name, len(m.fifo), m.capacity, ErrMailboxFull)
 	}
 	m.fifo = append(m.fifo, v)
 	m.writes++
 	m.notEmpty.WakeAll(m.engine)
-	return true
+	return nil
+}
+
+// TryWrite enqueues v without blocking; it reports whether it succeeded.
+func (m *Mailbox) TryWrite(v uint32) bool {
+	return m.WriteNonBlocking(v) == nil
 }
 
 // Read dequeues the oldest entry, blocking the calling process until one

@@ -46,6 +46,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// FaultAction is the injected-fault verdict for one DMA command.
+type FaultAction int
+
+// DMA fault verdicts, consulted per command via the fault hook.
+const (
+	// FaultNone lets the command proceed normally.
+	FaultNone FaultAction = iota
+	// FaultDrop loses the command: its tag stays pending forever and the
+	// queue slot leaks (the classic hung-tag failure mode).
+	FaultDrop
+	// FaultCorrupt delivers the payload corrupted and latches the sticky
+	// transfer-error flag the dispatcher reports as a retryable DMA fault.
+	FaultCorrupt
+)
+
 // MFC is one SPE's memory flow controller.
 type MFC struct {
 	engine *sim.Engine
@@ -59,12 +74,98 @@ type MFC struct {
 	tagPending [NumTags]int
 	tagWait    *sim.Queue
 
+	// faultHook, when set, is sampled once per accepted DMA command
+	// (deterministic fault injection).
+	faultHook func() FaultAction
+	// xferErr is the sticky transfer-error flag: set when a command's
+	// payload was delivered corrupted, cleared by ClearTransferError.
+	xferErr bool
+	// startTimers and inflight track pending startup timers and in-flight
+	// bus transfers so Abort can tear them down. Slices (not maps) keep
+	// teardown order deterministic.
+	startTimers []*sim.Timer
+	inflight    []*eib.Transfer
+
 	// Stats
 	commands  uint64
 	bytesIn   uint64 // main memory -> LS
 	bytesOut  uint64 // LS -> main memory
 	listCmds  uint64
 	peakQueue int
+}
+
+// SetFaultHook installs (or clears, with nil) the per-command fault hook.
+func (m *MFC) SetFaultHook(h func() FaultAction) { m.faultHook = h }
+
+// TransferError reports the sticky transfer-error flag.
+func (m *MFC) TransferError() bool { return m.xferErr }
+
+// ClearTransferError resets the sticky transfer-error flag.
+func (m *MFC) ClearTransferError() { m.xferErr = false }
+
+func (m *MFC) sampleFault() FaultAction {
+	if m.faultHook == nil {
+		return FaultNone
+	}
+	return m.faultHook()
+}
+
+// corrupt flips bits in a delivered payload and latches the error flag.
+func (m *MFC) corrupt(b []byte) {
+	for i := range b {
+		b[i] ^= 0xA5
+	}
+	m.xferErr = true
+}
+
+// scheduleStart arms the post-issue startup timer, tracked so Abort can
+// cancel DMA commands that have not yet reached the bus.
+func (m *MFC) scheduleStart(fn func()) {
+	var t *sim.Timer
+	t = m.engine.Schedule(m.engine.Now().Add(m.cfg.StartupLatency), func() {
+		m.removeTimer(t)
+		fn()
+	})
+	m.startTimers = append(m.startTimers, t)
+}
+
+func (m *MFC) removeTimer(t *sim.Timer) {
+	for i, x := range m.startTimers {
+		if x == t {
+			m.startTimers = append(m.startTimers[:i], m.startTimers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *MFC) track(t *eib.Transfer) { m.inflight = append(m.inflight, t) }
+
+func (m *MFC) untrack(t *eib.Transfer) {
+	for i, x := range m.inflight {
+		if x == t {
+			m.inflight = append(m.inflight[:i], m.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// Abort tears down the MFC after its SPE fails: pending command starts are
+// cancelled, in-flight transfers stop moving data, every tag is forced
+// quiescent, and tag waiters are released. The queue semaphore is left as
+// is — a failed SPE never loads another program.
+func (m *MFC) Abort() {
+	for _, t := range m.startTimers {
+		t.Cancel()
+	}
+	m.startTimers = nil
+	for _, tr := range m.inflight {
+		tr.Abort()
+	}
+	m.inflight = nil
+	for i := range m.tagPending {
+		m.tagPending[i] = 0
+	}
+	m.tagWait.WakeAll(m.engine)
 }
 
 // New creates an MFC bound to one SPE's local store and bus port.
@@ -107,6 +208,19 @@ func checkTransfer(lsa ls.Addr, ea mainmem.Addr, size uint32) error {
 	return nil
 }
 
+// checkBounds rejects transfers whose windows fall outside the local
+// store or main memory (the MFC-exception analog); garbage addresses from
+// corrupted headers surface as errors, not simulator panics.
+func (m *MFC) checkBounds(lsa ls.Addr, ea mainmem.Addr, size uint32) error {
+	if end := uint64(lsa) + uint64(size); end > ls.Size {
+		return fmt.Errorf("mfc: DMA LS window [%#x,%#x) beyond %d B local store", uint32(lsa), end, ls.Size)
+	}
+	if end := uint64(ea) + uint64(size); end > uint64(m.mem.Size()) {
+		return fmt.Errorf("mfc: DMA effective window [%#x,%#x) beyond %d B main memory", uint32(ea), end, m.mem.Size())
+	}
+	return nil
+}
+
 func checkTag(tag int) error {
 	if tag < 0 || tag >= NumTags {
 		return fmt.Errorf("mfc: tag %d out of range [0,%d)", tag, NumTags)
@@ -124,6 +238,9 @@ func (m *MFC) Get(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 	if err := checkTag(tag); err != nil {
 		return err
 	}
+	if err := m.checkBounds(lsa, ea, size); err != nil {
+		return err
+	}
 	// Validate both windows now so errors surface at the issue site.
 	dst := m.store.Bytes(lsa, size)
 	src := m.mem.Bytes(ea, size)
@@ -132,12 +249,22 @@ func (m *MFC) Get(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 	m.noteQueueDepth()
 	m.tagPending[tag]++
 	m.commands++
-	m.engine.After(m.cfg.StartupLatency, func() {
-		m.bus.Start(eib.PortMemory, m.port, int64(size), func() {
+	act := m.sampleFault()
+	if act == FaultDrop {
+		return nil // the command is lost; its tag never completes
+	}
+	m.scheduleStart(func() {
+		var tr *eib.Transfer
+		tr = m.bus.Start(eib.PortMemory, m.port, int64(size), func() {
+			m.untrack(tr)
 			copy(dst, src)
+			if act == FaultCorrupt {
+				m.corrupt(dst)
+			}
 			m.bytesIn += uint64(size)
 			m.finish(tag)
 		})
+		m.track(tr)
 	})
 	return nil
 }
@@ -151,6 +278,9 @@ func (m *MFC) Put(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 	if err := checkTag(tag); err != nil {
 		return err
 	}
+	if err := m.checkBounds(lsa, ea, size); err != nil {
+		return err
+	}
 	snapshot := append([]byte(nil), m.store.Bytes(lsa, size)...)
 	dst := m.mem.Bytes(ea, size)
 	p.Sleep(m.cfg.IssueCost)
@@ -158,12 +288,22 @@ func (m *MFC) Put(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 	m.noteQueueDepth()
 	m.tagPending[tag]++
 	m.commands++
-	m.engine.After(m.cfg.StartupLatency, func() {
-		m.bus.Start(m.port, eib.PortMemory, int64(size), func() {
+	act := m.sampleFault()
+	if act == FaultDrop {
+		return nil // the command is lost; its tag never completes
+	}
+	m.scheduleStart(func() {
+		var tr *eib.Transfer
+		tr = m.bus.Start(m.port, eib.PortMemory, int64(size), func() {
+			m.untrack(tr)
 			copy(dst, snapshot)
+			if act == FaultCorrupt {
+				m.corrupt(dst)
+			}
 			m.bytesOut += uint64(size)
 			m.finish(tag)
 		})
+		m.track(tr)
 	})
 	return nil
 }
@@ -201,6 +341,9 @@ func (m *MFC) listCmd(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int, get
 		if err := checkTransfer(cursor, el.EA, el.Size); err != nil {
 			return fmt.Errorf("mfc: list element %d: %w", i, err)
 		}
+		if err := m.checkBounds(cursor, el.EA, el.Size); err != nil {
+			return fmt.Errorf("mfc: list element %d: %w", i, err)
+		}
 		lsb := m.store.Bytes(cursor, el.Size)
 		mb := m.mem.Bytes(el.EA, el.Size)
 		if get {
@@ -216,6 +359,10 @@ func (m *MFC) listCmd(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int, get
 	m.tagPending[tag]++
 	m.commands++
 	m.listCmds++
+	act := m.sampleFault()
+	if act == FaultDrop {
+		return nil // the command is lost; its tag never completes
+	}
 	// Elements stream serially on the bus under a single startup latency.
 	var runElement func(i int)
 	runElement = func(i int) {
@@ -224,8 +371,13 @@ func (m *MFC) listCmd(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int, get
 		if !get {
 			src, dst = m.port, eib.PortMemory
 		}
-		m.bus.Start(src, dst, int64(pc.size), func() {
+		var tr *eib.Transfer
+		tr = m.bus.Start(src, dst, int64(pc.size), func() {
+			m.untrack(tr)
 			copy(pc.dst, pc.src)
+			if act == FaultCorrupt {
+				m.corrupt(pc.dst)
+			}
 			if get {
 				m.bytesIn += uint64(pc.size)
 			} else {
@@ -237,8 +389,9 @@ func (m *MFC) listCmd(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int, get
 			}
 			m.finish(tag)
 		})
+		m.track(tr)
 	}
-	m.engine.After(m.cfg.StartupLatency, func() { runElement(0) })
+	m.scheduleStart(func() { runElement(0) })
 	return nil
 }
 

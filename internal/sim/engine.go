@@ -225,20 +225,58 @@ func (e *Engine) removeProc(p *Proc) {
 	e.procs = e.procs[:last]
 }
 
-// checkQuiescent reports an error when blocked processes can never resume.
-func (e *Engine) checkQuiescent() error {
-	var stuck []string
+// BlockedProc describes one stuck process: its name, the wait queue it is
+// blocked on (the wait cause), and when it blocked.
+type BlockedProc struct {
+	Name  string
+	Queue string
+	Since Time
+}
+
+// DeadlockError reports a simulated deadlock: the event queue drained
+// while processes were still blocked, so none of them can ever resume.
+// Instead of ending the run as if it completed, Run surfaces every stuck
+// process and its wait cause.
+type DeadlockError struct {
+	At      Time
+	Blocked []BlockedProc
+}
+
+func (e *DeadlockError) Error() string {
+	parts := make([]string, len(e.Blocked))
+	for i, b := range e.Blocked {
+		parts[i] = fmt.Sprintf("%s (blocked on %s since %s)", b.Name, b.Queue, b.Since)
+	}
+	return fmt.Sprintf("sim: deadlock at %s: no events pending and %d process(es) blocked: %s",
+		e.At, len(e.Blocked), strings.Join(parts, "; "))
+}
+
+// Blocked returns a snapshot of the currently blocked processes, sorted by
+// name then queue for deterministic reporting.
+func (e *Engine) Blocked() []BlockedProc {
+	var stuck []BlockedProc
 	for _, p := range e.procs {
 		if p.state == procBlocked {
-			stuck = append(stuck, fmt.Sprintf("%s (blocked on %s)", p.name, p.blockedOn))
+			stuck = append(stuck, BlockedProc{Name: p.name, Queue: p.blockedOn, Since: p.blockedSince})
 		}
 	}
+	sort.Slice(stuck, func(i, j int) bool {
+		if stuck[i].Name != stuck[j].Name {
+			return stuck[i].Name < stuck[j].Name
+		}
+		return stuck[i].Queue < stuck[j].Queue
+	})
+	return stuck
+}
+
+// checkQuiescent reports a DeadlockError when blocked processes can never
+// resume.
+func (e *Engine) checkQuiescent() error {
+	stuck := e.Blocked()
 	if len(stuck) == 0 {
 		return nil
 	}
-	sort.Strings(stuck)
-	return fmt.Errorf("sim: deadlock at %s: no events pending and %d process(es) blocked: %s",
-		e.now, len(stuck), strings.Join(stuck, "; "))
+	return &DeadlockError{At: e.now, Blocked: stuck}
 }
 
 // resume hands control to p until it yields back.

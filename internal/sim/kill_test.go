@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestKillBlockedProc kills a process parked on a wait queue: its stack
+// must unwind (running defers), it must leave the queue, and the run must
+// end cleanly instead of reporting a deadlock.
+func TestKillBlockedProc(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("never-signaled")
+	var finished, unwound bool
+	victim := e.Spawn("victim", func(p *Proc) {
+		defer func() { unwound = true }()
+		p.Wait(q)
+		finished = true
+	})
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(Microsecond)
+		victim.Kill()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if finished {
+		t.Error("killed process ran past its wait")
+	}
+	if !unwound {
+		t.Error("killed process did not run its deferred functions")
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue still holds %d waiter(s)", q.Len())
+	}
+	if !victim.Killed() {
+		t.Error("Killed() = false after Kill")
+	}
+}
+
+// TestKillPreservesQueueFIFO removes only the killed waiter; the
+// remaining waiters keep their FIFO order.
+func TestKillPreservesQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("fifo")
+	var order []string
+	waiter := func(name string) *Proc {
+		return e.Spawn(name, func(p *Proc) {
+			p.Wait(q)
+			order = append(order, name)
+		})
+	}
+	a := waiter("a")
+	waiter("b")
+	waiter("c")
+	e.Spawn("driver", func(p *Proc) {
+		p.Sleep(Microsecond)
+		a.Kill()
+		q.WakeOne(e)
+		q.WakeOne(e)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "b" || order[1] != "c" {
+		t.Errorf("wake order = %v, want [b c]", order)
+	}
+}
+
+// TestKillSleepingProc cancels the pending wake event, so a killed
+// sleeper neither resumes nor leaves a dangling event.
+func TestKillSleepingProc(t *testing.T) {
+	e := NewEngine()
+	var woke bool
+	victim := e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(Millisecond)
+		woke = true
+	})
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(Microsecond)
+		victim.Kill()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woke {
+		t.Error("killed sleeper still woke")
+	}
+	if got := e.Now(); got != Time(Microsecond) {
+		t.Errorf("engine ran to %s, want the kill time %s", got, Time(Microsecond))
+	}
+}
+
+// TestKillUnstartedProc: a process killed before its first dispatch never
+// runs its body.
+func TestKillUnstartedProc(t *testing.T) {
+	e := NewEngine()
+	var ran bool
+	victim := e.SpawnAt(Time(Millisecond), "late", func(p *Proc) { ran = true })
+	victim.Kill()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Error("killed unstarted process ran its body")
+	}
+}
+
+// TestKillSelf: a running process that kills itself unwinds at its next
+// yield point.
+func TestKillSelf(t *testing.T) {
+	e := NewEngine()
+	var after bool
+	e.Spawn("self", func(p *Proc) {
+		p.Kill()
+		p.Sleep(Microsecond) // the yield where the unwind happens
+		after = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after {
+		t.Error("self-killed process ran past its yield")
+	}
+}
+
+// TestKillIdempotent: double-kill and kill-after-done are no-ops.
+func TestKillIdempotent(t *testing.T) {
+	e := NewEngine()
+	done := e.Spawn("done", func(p *Proc) {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	done.Kill()
+	done.Kill()
+}
+
+// TestDeadlockErrorTyped: an event-queue-empty-with-blocked-processes run
+// surfaces a *DeadlockError carrying every stuck process, its wait queue
+// (the wait cause), and when it blocked.
+func TestDeadlockErrorTyped(t *testing.T) {
+	e := NewEngine()
+	qa := NewQueue("orphan-a")
+	qb := NewQueue("orphan-b")
+	e.Spawn("stuck-2", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		p.Wait(qb)
+	})
+	e.Spawn("stuck-1", func(p *Proc) {
+		p.Sleep(Microsecond)
+		p.Wait(qa)
+	})
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run error %T (%v), want *DeadlockError", err, err)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Fatalf("Blocked = %v, want 2 entries", dl.Blocked)
+	}
+	// Sorted by name: stuck-1 first.
+	b0, b1 := dl.Blocked[0], dl.Blocked[1]
+	if b0.Name != "stuck-1" || b0.Queue != "orphan-a" || b0.Since != Time(Microsecond) {
+		t.Errorf("Blocked[0] = %+v", b0)
+	}
+	if b1.Name != "stuck-2" || b1.Queue != "orphan-b" || b1.Since != Time(2*Microsecond) {
+		t.Errorf("Blocked[1] = %+v", b1)
+	}
+	if dl.At != Time(2*Microsecond) {
+		t.Errorf("At = %s", dl.At)
+	}
+}

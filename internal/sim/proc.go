@@ -14,20 +14,27 @@ const (
 
 // Proc is a simulated process: a goroutine whose execution is interleaved
 // with all other processes by the engine, one at a time, in virtual-time
-// order. All Proc methods must be called only from the process's own body.
+// order. All Proc methods must be called only from the process's own body,
+// except Kill, which any other process or engine callback may call.
 type Proc struct {
-	engine    *Engine
-	name      string
-	resume    chan signal
-	state     procState
-	blockedOn string
-	wake      *event // pending resume event, if sleeping
-	procIdx   int    // position in engine.procs for O(1) removal
+	engine       *Engine
+	name         string
+	resume       chan signal
+	state        procState
+	blockedOn    string
+	blockedSince Time   // when the process entered procBlocked
+	wake         *event // pending resume event, if sleeping
+	procIdx      int    // position in engine.procs for O(1) removal
+	killed       bool
 
 	// interruptible wait support
 	waitingIn *Queue
 	waitPos   int
 }
+
+// killUnwind is the panic value that unwinds a killed process's stack from
+// its current yield point; the spawn goroutine's recover absorbs it.
+type killUnwind struct{ p *Proc }
 
 // Spawn creates a process that starts running at the current virtual time.
 // The body runs on its own goroutine but never concurrently with the engine
@@ -46,11 +53,19 @@ func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
 	go func() {
 		<-p.resume // wait for first dispatch
 		defer func() {
+			r := recover()
 			p.state = procDone
 			e.removeProc(p)
+			if r != nil {
+				if ku, ok := r.(killUnwind); !ok || ku.p != p {
+					panic(r) // a real panic from the body: crash loudly
+				}
+			}
 			e.ready <- signal{}
 		}()
-		body(p)
+		if !p.killed {
+			body(p)
+		}
 	}()
 	ev := e.alloc()
 	ev.at = t
@@ -70,10 +85,59 @@ func (p *Proc) Now() Time { return p.engine.now }
 
 // yield parks the process and returns control to the engine. The caller
 // must have arranged for a future resume (scheduled event or queue entry).
+// A process killed while parked unwinds here instead of returning.
 func (p *Proc) yield() {
 	p.engine.ready <- signal{}
 	<-p.resume
+	if p.killed {
+		panic(killUnwind{p})
+	}
 	p.state = procRunning
+}
+
+// Kill terminates the process at its current suspension point: its stack
+// unwinds (running deferred functions), it is removed from any wait queue,
+// and any pending wake-up event is cancelled. Killing a finished or
+// already-killed process is a no-op. A process that has not started yet
+// never runs its body. Kill is the one Proc method that other processes
+// and engine callbacks may call; the victim is gone (procDone) after the
+// kill event at the current virtual time is dispatched.
+func (p *Proc) Kill() {
+	if p.state == procDone || p.killed {
+		return
+	}
+	p.killed = true
+	switch p.state {
+	case procBlocked:
+		if q := p.waitingIn; q != nil {
+			q.remove(p)
+			p.waitingIn = nil
+		}
+		p.scheduleKillResume()
+	case procSleeping:
+		if p.wake != nil {
+			p.engine.cancel(p.wake)
+			p.wake = nil
+		}
+		p.scheduleKillResume()
+	case procNew, procRunning:
+		// procNew: the spawn event is already pending; the body is skipped
+		// at first dispatch. procRunning: the process unwinds at its next
+		// yield (only reachable from the process killing itself).
+	}
+}
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// scheduleKillResume arranges an immediate resume so the killed process
+// can unwind at the current virtual time.
+func (p *Proc) scheduleKillResume() {
+	p.state = procSleeping
+	ev := p.engine.alloc()
+	ev.at = p.engine.now
+	ev.proc = p
+	p.engine.push(ev)
 }
 
 // Sleep advances the process's virtual time by d. Non-positive durations
@@ -130,11 +194,25 @@ func (q *Queue) Len() int { return len(q.waiters) }
 func (p *Proc) Wait(q *Queue) {
 	p.state = procBlocked
 	p.blockedOn = q.name
+	p.blockedSince = p.engine.now
 	p.waitingIn = q
 	q.waiters = append(q.waiters, p)
 	p.yield()
 	p.waitingIn = nil
 	p.blockedOn = ""
+}
+
+// remove deletes p from the wait queue (if present), preserving FIFO
+// order of the remaining waiters.
+func (q *Queue) remove(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			copy(q.waiters[i:], q.waiters[i+1:])
+			q.waiters[len(q.waiters)-1] = nil
+			q.waiters = q.waiters[:len(q.waiters)-1]
+			return
+		}
+	}
 }
 
 // WakeOne resumes the longest-waiting process, if any, scheduling it at the

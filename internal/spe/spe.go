@@ -6,6 +6,7 @@
 package spe
 
 import (
+	"errors"
 	"fmt"
 
 	"cellport/internal/cost"
@@ -17,6 +18,10 @@ import (
 	"cellport/internal/sim"
 	"cellport/internal/trace"
 )
+
+// ErrSPECrashed is the typed sentinel wrapped by operations refused
+// because the SPE has failed (injected crash or watchdog kill).
+var ErrSPECrashed = errors.New("SPE crashed")
 
 // Program is an SPE executable: a code-image size (checked against the
 // local store) and an entry point.
@@ -45,13 +50,15 @@ type SPE struct {
 	Signal1     *mbox.Signal
 	Signal2     *mbox.Signal
 
-	running  bool
-	program  string
-	proc     *sim.Proc
-	doneQ    *sim.Queue
-	busyTime sim.Duration
-	dmaWait  sim.Duration
-	mboxWait sim.Duration
+	running    bool
+	program    string
+	proc       *sim.Proc
+	doneQ      *sim.Queue
+	failed     bool
+	failReason string
+	busyTime   sim.Duration
+	dmaWait    sim.Duration
+	mboxWait   sim.Duration
 }
 
 // New builds an SPE attached to the shared bus and main memory.
@@ -95,9 +102,38 @@ func (s *SPE) DMAWait() sim.Duration { return s.dmaWait }
 // MboxWait reports accumulated time blocked on mailboxes.
 func (s *SPE) MboxWait() sim.Duration { return s.mboxWait }
 
+// Failed reports whether the SPE has crashed.
+func (s *SPE) Failed() bool { return s.failed }
+
+// FailReason returns why the SPE crashed (empty while healthy).
+func (s *SPE) FailReason() string { return s.failReason }
+
+// Fail crashes the SPE: the running program (if any) is killed at its next
+// scheduling point, queued and in-flight DMA is aborted, and the SPE
+// refuses all further program loads. Waiters on WaitStopped are released.
+// Failing an already-failed SPE is a no-op.
+func (s *SPE) Fail(reason string) {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.failReason = reason
+	if s.proc != nil {
+		s.proc.Kill()
+		s.proc = nil
+	}
+	s.MFC.Abort()
+	s.running = false
+	s.program = ""
+	s.doneQ.WakeAll(s.engine)
+}
+
 // Load checks the program image against the local store, loads it, and
 // starts Main as a simulated thread (the spe_create_thread analog).
 func (s *SPE) Load(prog Program) error {
+	if s.failed {
+		return fmt.Errorf("spe%d: %w (%s)", s.id, ErrSPECrashed, s.failReason)
+	}
 	if s.running {
 		return fmt.Errorf("spe%d: already running %q", s.id, s.program)
 	}
@@ -228,6 +264,13 @@ func (c *Context) GetList(lsa ls.Addr, list []mfc.ListElement, tag int) error {
 func (c *Context) PutList(lsa ls.Addr, list []mfc.ListElement, tag int) error {
 	return c.spe.MFC.PutList(c.p, lsa, list, tag)
 }
+
+// DMAError reports the MFC's sticky transfer-error flag (a corrupted
+// delivery since the last clear).
+func (c *Context) DMAError() bool { return c.spe.MFC.TransferError() }
+
+// ClearDMAError resets the MFC's sticky transfer-error flag.
+func (c *Context) ClearDMAError() { c.spe.MFC.ClearTransferError() }
 
 // WaitTag blocks until tag's commands complete, accounting the stall.
 func (c *Context) WaitTag(tag int) {
