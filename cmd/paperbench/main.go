@@ -14,6 +14,8 @@
 //	paperbench -parallel 4       # worker pool for independent runs
 //	paperbench -nocache          # recompute artifacts per run (cold path)
 //	paperbench -json out.json    # machine-readable sidecar ("-" = stdout)
+//	paperbench -trace out.json   # Chrome trace (load at ui.perfetto.dev)
+//	paperbench -metrics m.json   # flat per-run metrics dump
 //	paperbench -faults <spec>    # explicit fault plan for -exp faults
 //	                             # (e.g. "crash:spe=0,at=5ms;dma-drop:spe=1,n=3")
 //	paperbench -faultseed 7      # seed-derived fault plan for -exp faults
@@ -22,16 +24,21 @@
 // GOMAXPROCS); virtual-time results are identical at any setting. The
 // -json file records per-experiment host wall time alongside the
 // virtual-time data, so successive checkouts can track a perf trajectory.
+//
+// All output files are written atomically (temp file + rename), so an
+// error mid-run can never leave a truncated artifact.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
+	"cellport/internal/atomicfile"
 	"cellport/internal/experiments"
 )
 
@@ -50,10 +57,15 @@ func main() {
 	nocache := flag.Bool("nocache", false, "recompute workload artifacts for every run (cold-path calibration)")
 	faultSpec := flag.String("faults", "", "explicit fault plan for -exp faults (kind:spe=N,...;... — see internal/fault)")
 	faultSeed := flag.Uint64("faultseed", 0, "seed for a derived fault plan when -faults is empty (0 = seed 1)")
+	tracePath := flag.String("trace", "", "write a Chrome trace (Perfetto-loadable) of every ported run to this path")
+	metricsPath := flag.String("metrics", "", "write per-run metrics JSON to this path")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, NoCache: *nocache,
 		FaultSpec: *faultSpec, FaultSeed: *faultSeed}
+	if *tracePath != "" || *metricsPath != "" {
+		cfg.Collect = &experiments.Collector{}
+	}
 	out := os.Stdout
 	tables := *jsonPath != "-" // "-" routes JSON to stdout instead of tables
 	jsonDoc := map[string]jsonEntry{}
@@ -184,6 +196,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *tracePath != "" {
+		if err := atomicfile.WriteFile(*tracePath, cfg.Collect.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		if err := atomicfile.WriteFile(*metricsPath, cfg.Collect.WriteMetricsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath == "" {
 		return
 	}
@@ -204,20 +229,19 @@ func main() {
 	doc.Config.NoCache = *nocache
 	doc.Config.MaxProcs = runtime.GOMAXPROCS(0)
 
-	dst := os.Stdout
-	if *jsonPath != "-" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		dst = f
+	writeDoc := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
-	enc := json.NewEncoder(dst)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "paperbench: encoding JSON: %v\n", err)
+	var err error
+	if *jsonPath == "-" {
+		err = writeDoc(os.Stdout)
+	} else {
+		err = atomicfile.WriteFile(*jsonPath, writeDoc)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,78 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new contents")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("contents = %q", got)
+	}
+	assertNoTempLeft(t, dir)
+}
+
+func TestWriteFileErrorKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-run failure")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage") //nolint:errcheck
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped mid-run failure", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "precious" {
+		t.Fatalf("old artifact clobbered: %q", got)
+	}
+	assertNoTempLeft(t, dir)
+}
+
+func TestWriteFileUnwritableDirectory(t *testing.T) {
+	// A directory that does not exist is unwritable for every uid
+	// (chmod-based setups are bypassed when tests run as root).
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "out.json")
+	err := WriteFile(path, func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("expected error for unwritable directory")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("artifact appeared despite error: %v", statErr)
+	}
+}
+
+func assertNoTempLeft(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

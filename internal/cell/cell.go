@@ -12,6 +12,7 @@ import (
 	"cellport/internal/fault"
 	"cellport/internal/ls"
 	"cellport/internal/mainmem"
+	"cellport/internal/metrics"
 	"cellport/internal/mfc"
 	"cellport/internal/sim"
 	"cellport/internal/spe"
@@ -27,6 +28,13 @@ type Config struct {
 	PPEModel   *cost.Model
 	SPEModel   *cost.Model
 	Tracer     trace.Tracer
+	// Metrics, when non-nil, receives the machine's instrumentation
+	// (per-SPE time split, MFC histograms, EIB shares; see
+	// HarvestMetrics). The nil path hands nil-safe handles to every
+	// component, so an unobserved machine takes its exact unobserved path
+	// — instrumentation never adds engine events or virtual time either
+	// way, keeping the replay fingerprint (EventCount) identical.
+	Metrics *metrics.Registry
 	// MboxAccessCost is PPE time per MMIO mailbox access; mailbox reads
 	// and writes from the PPE cross the bus and are not cheap.
 	MboxAccessCost sim.Duration
@@ -72,7 +80,10 @@ func New(cfg Config) *Machine {
 	mem := mainmem.New(cfg.MemorySize)
 	m := &Machine{cfg: cfg, Engine: e, Bus: bus, Memory: mem, tracer: cfg.Tracer}
 	for i := 0; i < cfg.NumSPEs; i++ {
-		m.SPEs = append(m.SPEs, spe.New(e, i, bus, mem, cfg.SPEModel, cfg.MFC, cfg.Tracer))
+		s := spe.New(e, i, bus, mem, cfg.SPEModel, cfg.MFC, cfg.Tracer)
+		s.MFC.SetTracer(cfg.Tracer, fmt.Sprintf("MFC%d", i))
+		s.MFC.SetMetrics(cfg.Metrics, fmt.Sprintf("mfc%d", i))
+		m.SPEs = append(m.SPEs, s)
 	}
 	return m
 }
@@ -101,8 +112,11 @@ func (m *Machine) SPE(i int) *spe.SPE {
 func (m *Machine) InjectFaults(inj *fault.Injector) {
 	for i, s := range m.SPEs {
 		i, s := i, s
+		speLane := fmt.Sprintf("SPE%d", i)
+		mfcLane := fmt.Sprintf("MFC%d", i)
 		s.Store.SetAllocFault(func(size, align uint32) error {
 			if inj.AllocFault(i) {
+				trace.RecordInstant(m.tracer, speLane, m.Engine.Now(), "fault: ls-overflow")
 				return fmt.Errorf("%w: injected soft overflow (%d B, align %d)",
 					ls.ErrLocalStoreOverflow, size, align)
 			}
@@ -111,14 +125,22 @@ func (m *Machine) InjectFaults(inj *fault.Injector) {
 		s.MFC.SetFaultHook(func() mfc.FaultAction {
 			switch inj.DMAAction(i) {
 			case fault.ActDrop:
+				trace.RecordInstant(m.tracer, mfcLane, m.Engine.Now(), "fault: dma-drop")
 				return mfc.FaultDrop
 			case fault.ActCorrupt:
+				trace.RecordInstant(m.tracer, mfcLane, m.Engine.Now(), "fault: dma-corrupt")
 				return mfc.FaultCorrupt
 			default:
 				return mfc.FaultNone
 			}
 		})
-		delay := func() sim.Duration { return inj.MboxDelay(i) }
+		delay := func() sim.Duration {
+			d := inj.MboxDelay(i)
+			if d > 0 {
+				trace.RecordInstant(m.tracer, speLane, m.Engine.Now(), "fault: mbox-stall")
+			}
+			return d
+		}
 		s.InMbox.SetWriteDelay(delay)
 		s.OutMbox.SetWriteDelay(delay)
 		s.OutIntrMbox.SetWriteDelay(delay)
@@ -136,6 +158,61 @@ func (m *Machine) InjectFaults(inj *fault.Injector) {
 			}
 		})
 	}
+}
+
+// HarvestMetrics copies the machine's accumulated statistics into the
+// configured registry: per-SPE time split (compute / DMA wait / mailbox
+// wait / idle over total, in femtoseconds), local-store and mailbox
+// high-water marks, per-MFC command and byte counts, per-port EIB
+// delivered bytes and flow counts, and the bus reallocation split. A
+// no-op without a registry. Harvesting reads completed counters only —
+// it schedules nothing and charges no virtual time, so it cannot perturb
+// the replay fingerprint.
+func (m *Machine) HarvestMetrics(total sim.Duration) {
+	reg := m.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	for i, s := range m.SPEs {
+		comp := fmt.Sprintf("spe%d", i)
+		reg.Counter(comp, "compute_fs").Add(int64(s.BusyTime()))
+		reg.Counter(comp, "dma_wait_fs").Add(int64(s.DMAWait()))
+		reg.Counter(comp, "mbox_wait_fs").Add(int64(s.MboxWait()))
+		if idle := total - s.BusyTime() - s.DMAWait() - s.MboxWait(); idle > 0 {
+			reg.Counter(comp, "idle_fs").Add(int64(idle))
+		} else {
+			reg.Counter(comp, "idle_fs") // register at zero for stable dumps
+		}
+		reg.Gauge(comp, "ls_peak_bytes").SetMax(int64(s.Store.Peak()))
+		reg.Gauge(comp, "in_mbox_peak").SetMax(int64(s.InMbox.Peak()))
+		reg.Gauge(comp, "out_mbox_peak").SetMax(int64(s.OutMbox.Peak()))
+		reg.Gauge(comp, "out_intr_mbox_peak").SetMax(int64(s.OutIntrMbox.Peak()))
+		reg.Counter(comp, "mbox_writes").Add(int64(s.InMbox.Writes() + s.OutMbox.Writes() + s.OutIntrMbox.Writes()))
+
+		st := s.MFC.Stats()
+		mcomp := fmt.Sprintf("mfc%d", i)
+		reg.Counter(mcomp, "commands").Add(int64(st.Commands))
+		reg.Counter(mcomp, "list_commands").Add(int64(st.ListCommands))
+		reg.Counter(mcomp, "bytes_in").Add(int64(st.BytesIn))
+		reg.Counter(mcomp, "bytes_out").Add(int64(st.BytesOut))
+		reg.Gauge(mcomp, "queue_peak").SetMax(int64(st.PeakQueue))
+	}
+
+	reg.Counter("eib", "bytes_moved").Add(int64(m.Bus.BytesMoved()))
+	reg.Counter("eib", "transfers").Add(int64(m.Bus.Transfers()))
+	reallocs, fast, full := m.Bus.Reallocs()
+	reg.Counter("eib", "realloc_total").Add(int64(reallocs))
+	reg.Counter("eib", "realloc_fast_path").Add(int64(fast))
+	reg.Counter("eib", "realloc_full_waterfill").Add(int64(full))
+	for port, bytes := range m.Bus.PortBytes() {
+		reg.Counter("eib", "port_bytes_"+port.String()).Add(int64(bytes))
+	}
+	for port, flows := range m.Bus.PortFlows() {
+		reg.Counter("eib", "port_flows_"+port.String()).Add(int64(flows))
+	}
+
+	reg.Gauge("mem", "peak_bytes").SetMax(int64(m.Memory.PeakAllocated()))
+	reg.Counter("mem", "allocations").Add(int64(m.Memory.Allocations()))
 }
 
 // RunMain spawns the PPE main program and runs the simulation to

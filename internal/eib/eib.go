@@ -86,6 +86,16 @@ type Bus struct {
 	// Stats
 	bytesMoved float64
 	transfers  uint64
+	// portBytes accumulates delivered bytes per crossed port (a loop-back
+	// transfer is credited once) — the per-port bandwidth-share numbers.
+	portBytes map[Port]float64
+	// portFlows counts transfers started per crossed port.
+	portFlows map[Port]uint64
+	// Reallocation counters: every reallocate() call, split by whether the
+	// closed-form uniform rate applied or the full waterfill ran.
+	reallocs    uint64
+	reallocFast uint64
+	reallocFull uint64
 }
 
 // Transfer is one in-flight bulk data movement.
@@ -107,7 +117,12 @@ func New(e *sim.Engine, cfg Config) *Bus {
 	if cfg.PortBandwidth <= 0 || cfg.TotalBandwidth <= 0 {
 		panic("eib: non-positive bandwidth")
 	}
-	return &Bus{engine: e, cfg: cfg, portLoad: make(map[Port]int)}
+	return &Bus{
+		engine: e, cfg: cfg,
+		portLoad:  make(map[Port]int),
+		portBytes: make(map[Port]float64),
+		portFlows: make(map[Port]uint64),
+	}
 }
 
 // Start begins moving size bytes from src to dst and returns the transfer
@@ -175,8 +190,10 @@ func (b *Bus) addActive(t *Transfer) {
 	t.idx = len(b.active)
 	b.active = append(b.active, t)
 	b.portLoad[t.src]++
+	b.portFlows[t.src]++
 	if t.dst != t.src {
 		b.portLoad[t.dst]++
+		b.portFlows[t.dst]++
 	}
 }
 
@@ -214,6 +231,15 @@ func (b *Bus) advance() {
 		}
 		t.remaining -= moved
 		b.bytesMoved += moved
+		b.creditPorts(t, moved)
+	}
+}
+
+// creditPorts attributes moved bytes to the ports a transfer crosses.
+func (b *Bus) creditPorts(t *Transfer, moved float64) {
+	b.portBytes[t.src] += moved
+	if t.dst != t.src {
+		b.portBytes[t.dst] += moved
 	}
 }
 
@@ -233,12 +259,15 @@ func (b *Bus) reallocate() {
 			maxLoad = l
 		}
 	}
+	b.reallocs++
 	if rate, ok := uniformRate(n, maxLoad, b.cfg); ok && !b.forceFull {
+		b.reallocFast++
 		for _, t := range b.active {
 			t.setRate(rate)
 		}
 		return
 	}
+	b.reallocFull++
 	rates := maxMinRates(b.active, b.cfg)
 	for i, t := range b.active {
 		t.setRate(rates[i])
@@ -381,6 +410,7 @@ func (t *Transfer) reschedule() {
 			return
 		}
 		b.bytesMoved += t.remaining
+		b.creditPorts(t, t.remaining)
 		t.remaining = 0
 		b.removeActive(t)
 		t.complete()
@@ -396,6 +426,30 @@ func (b *Bus) BytesMoved() float64 { return b.bytesMoved }
 
 // Transfers reports the cumulative number of transfers started.
 func (b *Bus) Transfers() uint64 { return b.transfers }
+
+// PortBytes returns a copy of the delivered-bytes-per-port accounting.
+func (b *Bus) PortBytes() map[Port]float64 {
+	out := make(map[Port]float64, len(b.portBytes))
+	for p, v := range b.portBytes {
+		out[p] = v
+	}
+	return out
+}
+
+// PortFlows returns a copy of the transfers-started-per-port counts.
+func (b *Bus) PortFlows() map[Port]uint64 {
+	out := make(map[Port]uint64, len(b.portFlows))
+	for p, v := range b.portFlows {
+		out[p] = v
+	}
+	return out
+}
+
+// Reallocs reports rate-recomputation counts: total calls, closed-form
+// fast-path hits, and full waterfill runs.
+func (b *Bus) Reallocs() (total, fast, full uint64) {
+	return b.reallocs, b.reallocFast, b.reallocFull
+}
 
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }

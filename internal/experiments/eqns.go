@@ -114,7 +114,7 @@ func Eqns(cfg Config) (*EqnsResult, error) {
 		if scenarios[i].s == marvel.SingleSPE {
 			return ref.PerImage.Seconds() / single.PerImage.Seconds(), nil
 		}
-		ported, err := marvel.RunPorted(cfg.ported(cfg.Workload(1), scenarios[i].s, marvel.Optimized))
+		ported, err := cfg.runPorted(fmt.Sprintf("eqns/%s/n=1", scenarios[i].s), cfg.ported(cfg.Workload(1), scenarios[i].s, marvel.Optimized))
 		if err != nil {
 			return 0, err
 		}

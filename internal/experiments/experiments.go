@@ -39,6 +39,11 @@ type Config struct {
 	// FaultSeed seeds the derived fault plan when FaultSpec is empty
 	// (0 selects seed 1).
 	FaultSeed uint64
+	// Collect, when non-nil, arms per-run observability: every ported run
+	// gets a private trace recorder and metrics registry, and its
+	// artifacts are gathered under a run label (see Collector). Nil keeps
+	// every run on its exact uninstrumented path.
+	Collect *Collector
 }
 
 // artifacts resolves the cache for this configuration's runs: an explicit
@@ -140,7 +145,7 @@ func kernelRoundTrips(cfg Config, v marvel.Variant) (*marvel.ReferenceResult, *m
 			ref = r
 			return struct{}{}, err
 		}
-		p, err := marvel.RunPorted(cfg.ported(w, marvel.SingleSPE, v))
+		p, err := cfg.runPorted(fmt.Sprintf("kernels/%s/single-spe", v), cfg.ported(w, marvel.SingleSPE, v))
 		ported = p
 		return struct{}{}, err
 	})

@@ -57,17 +57,21 @@ func FaultsExp(cfg Config) (*FaultsResult, error) {
 	res.Spec = plan.String()
 
 	w := cfg.Workload(2)
-	runOne := func(p *fault.Plan) (*marvel.PortedResult, error) {
+	runOne := func(label string, p *fault.Plan) (*marvel.PortedResult, error) {
 		pc := cfg.ported(w, marvel.MultiSPE, marvel.Optimized)
 		pc.Validate = true
 		pc.Faults = p
-		return marvel.RunPorted(pc)
+		return cfg.runPorted(label, pc)
 	}
 	runs, err := RunIndexed(cfg.workers(), 3, func(i int) (*marvel.PortedResult, error) {
-		if i == 0 {
-			return runOne(nil) // fault-free baseline
+		switch i {
+		case 0:
+			return runOne("faults/baseline", nil) // fault-free baseline
+		case 1:
+			return runOne("faults/injected", plan)
+		default:
+			return runOne("faults/repeat", plan)
 		}
-		return runOne(plan)
 	})
 	if err != nil {
 		return nil, err

@@ -93,7 +93,8 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 	}
 	runs, err := RunIndexed(cfg.workers(), len(grid), func(i int) (*marvel.PortedResult, error) {
 		g := grid[i]
-		ported, err := marvel.RunPorted(cfg.ported(cfg.Workload(g.n), g.scen, marvel.Optimized))
+		label := fmt.Sprintf("fig7/%s/n=%d", g.scen, g.n)
+		ported, err := cfg.runPorted(label, cfg.ported(cfg.Workload(g.n), g.scen, marvel.Optimized))
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s n=%d: %w", g.scen, g.n, err)
 		}

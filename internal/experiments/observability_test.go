@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"cellport/internal/fault"
+	"cellport/internal/marvel"
+	"cellport/internal/metrics"
+	"cellport/internal/trace"
+)
+
+// resultJSON serializes a PortedResult the way the -json artifact does;
+// Trace and Metrics carry json:"-" so instrumented and uninstrumented
+// runs must byte-match here.
+func resultJSON(t *testing.T, res *marvel.PortedResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runPair executes the same ported configuration twice — bare, and with a
+// recorder + registry armed — and asserts byte-identical results and
+// EventCount (the replay fingerprint): instrumentation must be invisible
+// to the simulation.
+func runPair(t *testing.T, pc marvel.PortedConfig, label string) *marvel.PortedResult {
+	t.Helper()
+	bare, err := marvel.RunPorted(pc)
+	if err != nil {
+		t.Fatalf("%s: bare run: %v", label, err)
+	}
+	mc := *pc.MachineConfig
+	mc.Tracer = trace.NewRecorder()
+	mc.Metrics = metrics.NewRegistry()
+	pc.MachineConfig = &mc
+	inst, err := marvel.RunPorted(pc)
+	if err != nil {
+		t.Fatalf("%s: instrumented run: %v", label, err)
+	}
+	if bare.EventCount != inst.EventCount {
+		t.Errorf("%s: EventCount %d (bare) != %d (instrumented): instrumentation perturbed the engine",
+			label, bare.EventCount, inst.EventCount)
+	}
+	if !bytes.Equal(resultJSON(t, bare), resultJSON(t, inst)) {
+		t.Errorf("%s: PortedResult JSON differs with instrumentation on", label)
+	}
+	if inst.Trace == nil || len(inst.Trace.Spans()) == 0 {
+		t.Errorf("%s: instrumented run recorded no spans", label)
+	}
+	if inst.Metrics == nil || len(inst.Metrics.Samples) == 0 {
+		t.Errorf("%s: instrumented run snapshot is empty", label)
+	}
+	return inst
+}
+
+func TestInstrumentationFingerprintNeutralFig7Grid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	for _, scen := range []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE, marvel.MultiSPE2} {
+		for _, n := range cfg.setSizes() {
+			label := fmt.Sprintf("%s/n=%d", scen, n)
+			runPair(t, cfg.ported(cfg.Workload(n), scen, marvel.Optimized), label)
+		}
+	}
+}
+
+func TestInstrumentationFingerprintNeutralUnderFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	plan := fault.Seeded(1, MachineConfig().NumSPEs)
+	pc := cfg.ported(cfg.Workload(2), marvel.MultiSPE, marvel.Optimized)
+	pc.Validate = true
+	pc.Faults = plan
+	inst := runPair(t, pc, "faults/seed=1")
+	// The supervised run must surface fault instants and supervisor
+	// counters through the observability layer.
+	if inst.Faults != nil && len(inst.Faults.Injected) > 0 {
+		if len(inst.Trace.Instants()) == 0 {
+			t.Error("faults injected but no instant events recorded")
+		}
+		if s, ok := inst.Metrics.Get("supervisor", "faults_injected", "counter"); !ok || s.Value == 0 {
+			t.Error("supervisor fault counters missing from snapshot")
+		}
+	}
+}
+
+func TestCollectorChromeTraceMonotonic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	cfg.Collect = &Collector{}
+	if _, err := Fig7(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Collect.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Ts  float64 `json:"ts"`
+			Pid int     `json:"pid"`
+			Tid int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("collector chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("collector chrome trace is empty")
+	}
+	type track struct{ pid, tid int }
+	last := map[track]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		k := track{ev.Pid, ev.Tid}
+		if prev, ok := last[k]; ok && ev.Ts < prev {
+			t.Fatalf("track %v: ts %v after %v — not monotonic", k, ev.Ts, prev)
+		}
+		last[k] = ev.Ts
+	}
+
+	// Determinism: exporting twice yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := cfg.Collect.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome trace export is not deterministic")
+	}
+	var m1, m2 bytes.Buffer
+	if err := cfg.Collect.WriteMetricsJSON(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Collect.WriteMetricsJSON(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Fatal("metrics export is not deterministic")
+	}
+}

@@ -92,7 +92,8 @@ func Pipeline(cfg Config) ([]PipelineRow, error) {
 		if i == 0 {
 			return cfg.artifacts().Reference(cost.NewPPE(), w)
 		}
-		return marvel.RunPorted(cfg.ported(w, scens[i-1], marvel.Optimized))
+		scen := scens[i-1]
+		return cfg.runPorted(fmt.Sprintf("pipeline/%s/n=%d", scen, n), cfg.ported(w, scen, marvel.Optimized))
 	})
 	if err != nil {
 		return nil, err

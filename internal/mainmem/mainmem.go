@@ -85,15 +85,29 @@ func newData(size uint32) []byte {
 }
 
 // Release returns the backing store to a process-wide pool for reuse by
-// a future New. The Memory must not be used afterwards (any access
-// panics). Calling Release is optional — an unreleased store is simply
+// a future New. The Memory must not be used afterwards (Alloc and Bytes
+// panic). Calling Release is optional — an unreleased store is simply
 // garbage-collected.
+//
+// Release is idempotent: a second Release (e.g. Machine.Release after a
+// caller already released the memory directly) is a no-op. Without the
+// guard the same backing store would enter the pool twice and two
+// subsequent News would alias one array — silent cross-run corruption.
 func (m *Memory) Release() {
 	if m.data == nil {
 		return
 	}
 	bufPool.Put(&pooledBuf{data: m.data, touched: m.touched})
 	m.data = nil
+}
+
+// checkLive panics with a clear diagnosis when the memory was released;
+// the backing store may already belong to another Memory, so any further
+// use would corrupt an unrelated run.
+func (m *Memory) checkLive() {
+	if m.data == nil {
+		panic("mainmem: use after Release")
+	}
 }
 
 // Size returns the total memory size.
@@ -108,6 +122,7 @@ func (m *Memory) PeakAllocated() uint32 { return m.peak }
 // Alloc reserves size bytes aligned to align (a power of two) and returns
 // the base address. It fails when no suitable free span exists.
 func (m *Memory) Alloc(size, align uint32) (Addr, error) {
+	m.checkLive()
 	if size == 0 {
 		return 0, fmt.Errorf("mainmem: zero-size allocation")
 	}
@@ -186,6 +201,7 @@ func (m *Memory) coalesce() {
 // Bytes returns a mutable view of n bytes at addr, bounds-checked against
 // the whole memory (not against allocation boundaries, as on hardware).
 func (m *Memory) Bytes(addr Addr, n uint32) []byte {
+	m.checkLive()
 	end := uint64(addr) + uint64(n)
 	if end > uint64(len(m.data)) {
 		panic(fmt.Sprintf("mainmem: access [%#x,%#x) beyond memory size %#x", uint32(addr), end, len(m.data)))

@@ -226,3 +226,35 @@ func TestReleaseInvalidatesMemory(t *testing.T) {
 	}()
 	m.Bytes(0, 1)
 }
+
+// TestDoubleReleaseDoesNotAliasPool: if a double Release pushed the same
+// backing store into the pool twice, the next two News would hand out the
+// same array as two "fresh" memories and writes through one would appear
+// in the other. Pin the idempotency guard by observing isolation.
+func TestDoubleReleaseDoesNotAliasPool(t *testing.T) {
+	const size = 3 << 16 // distinctive size so other tests' pooled buffers don't match
+	m := New(size)
+	m.Bytes(0, 16) // touch so the store is dirty-tracked
+	m.Release()
+	m.Release() // must be a no-op, not a second pool put
+
+	m1 := New(size)
+	m2 := New(size)
+	m1.Bytes(0, 16)[0] = 0xEE
+	if got := m2.Bytes(0, 16)[0]; got != 0 {
+		t.Fatalf("two fresh memories alias one backing store: m2[0] = %#x", got)
+	}
+}
+
+// TestAllocAfterReleasePanics: allocation on a released memory must fail
+// loudly, not hand out addresses into a store another run may now own.
+func TestAllocAfterReleasePanics(t *testing.T) {
+	m := New(1 << 16)
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc after Release did not panic")
+		}
+	}()
+	m.Alloc(64, AlignQuadword) //nolint:errcheck // panics before returning
+}

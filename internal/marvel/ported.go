@@ -11,7 +11,9 @@ import (
 	"cellport/internal/features"
 	"cellport/internal/img"
 	"cellport/internal/mainmem"
+	"cellport/internal/metrics"
 	"cellport/internal/sim"
+	"cellport/internal/trace"
 )
 
 // Scenario selects the §5.5 scheduling scheme.
@@ -127,6 +129,13 @@ type PortedResult struct {
 	// Faults is the structured fault report (nil when no plan was armed):
 	// what was injected and how the supervision loop recovered.
 	Faults *fault.Report
+	// Trace holds the run's recorded spans and instants when the machine
+	// was configured with a *trace.Recorder. Excluded from JSON so -json
+	// artifacts are byte-identical with instrumentation on or off.
+	Trace *trace.Recorder `json:"-"`
+	// Metrics is the end-of-run snapshot when the machine was configured
+	// with a registry. Excluded from JSON for the same reason.
+	Metrics *metrics.Snapshot `json:"-"`
 }
 
 // extractOrder lists extraction kernels in expected-completion order for
@@ -185,9 +194,11 @@ func RunPorted(cfg PortedConfig) (*PortedResult, error) {
 		machine.InjectFaults(inj)
 	}
 	var runErr error
+	var ppeBusy sim.Duration
 
 	elapsed, err := machine.RunMain("marvel", func(ctx *cell.Context) {
 		runErr = portedMain(ctx, cfg, inj, images, ms, ref, res)
+		ppeBusy = ctx.BusyTime()
 	})
 	if err != nil {
 		return nil, fmt.Errorf("marvel: simulation: %w", err)
@@ -208,6 +219,29 @@ func RunPorted(cfg PortedConfig) (*PortedResult, error) {
 	res.EventCount = machine.Engine.EventCount
 	if inj != nil {
 		res.Faults = inj.Report()
+	}
+	// Post-run observability harvest: pure bookkeeping over completed
+	// counters, after the engine has stopped — it cannot affect the replay
+	// fingerprint captured above.
+	if reg := mcfg.Metrics; reg != nil {
+		machine.HarvestMetrics(elapsed)
+		reg.Counter("ppe", "busy_fs").Add(int64(ppeBusy))
+		if res.Faults != nil {
+			rep := res.Faults
+			reg.Counter("supervisor", "faults_planned").Add(int64(rep.Planned))
+			reg.Counter("supervisor", "faults_injected").Add(int64(len(rep.Injected)))
+			reg.Counter("supervisor", "retries").Add(int64(rep.Retries))
+			reg.Counter("supervisor", "redispatches").Add(int64(rep.Redispatches))
+			reg.Counter("supervisor", "fallbacks").Add(int64(rep.Fallbacks))
+			reg.Counter("supervisor", "watchdog_timeouts").Add(int64(rep.WatchdogTimeouts))
+			reg.Counter("supervisor", "spes_lost").Add(int64(len(rep.SPEsLost)))
+			reg.Counter("supervisor", "backoff_fs").Add(int64(rep.BackoffTime))
+			reg.Counter("supervisor", "degraded_fs").Add(int64(rep.DegradedTime))
+		}
+		res.Metrics = reg.Snapshot()
+	}
+	if rec, ok := mcfg.Tracer.(*trace.Recorder); ok {
+		res.Trace = rec
 	}
 	return res, nil
 }

@@ -19,11 +19,32 @@ const (
 	// before declaring the SPE dead.
 	DefaultWatchdog = 50 * sim.Millisecond
 	// retryBackoff is the base delay before re-dispatching a failed
-	// invocation; attempt k waits retryBackoff << (k-1).
+	// invocation; attempt k (1-based) waits backoffDelay(retryBackoff, k).
 	retryBackoff = 100 * sim.Microsecond
 	// maxRetries bounds same-invocation retries for retryable result codes.
 	maxRetries = 3
+	// maxBackoffShift caps the exponential backoff doubling: beyond 16
+	// doublings the delay saturates (100 µs << 16 ≈ 6.5 s of virtual
+	// time). Uncapped, a misconfigured retry bound past attempt 63 would
+	// shift the base out of sim.Duration's int64 range entirely, producing
+	// zero or negative sleeps.
+	maxBackoffShift = 16
 )
+
+// backoffDelay returns the delay before retry number attempt (1-based:
+// the first retry waits the base delay). Attempts below 1 are treated as
+// the first retry, and the doubling saturates at maxBackoffShift so the
+// delay can never overflow sim.Duration.
+func backoffDelay(base sim.Duration, attempt int) sim.Duration {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	return base << shift
+}
 
 // fallbackFunc executes one kernel invocation on the PPE against the
 // wrapper in main memory — the graceful-degradation path when no healthy
@@ -274,7 +295,7 @@ func (k *kern) Wait() (uint32, error) {
 			if s.rep != nil {
 				s.rep.Retries++
 			}
-			d := s.backoff << (k.attempts - 1)
+			d := backoffDelay(s.backoff, k.attempts)
 			if s.rep != nil {
 				s.rep.BackoffTime += d
 			}

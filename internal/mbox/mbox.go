@@ -38,6 +38,7 @@ type Mailbox struct {
 
 	writes uint64
 	reads  uint64
+	peak   int // occupancy high-water mark
 }
 
 // SetWriteDelay installs (or clears, with nil) the per-write stall hook.
@@ -76,6 +77,7 @@ func (m *Mailbox) Write(p *sim.Proc, v uint32) {
 	p.WaitFor(m.notFull, func() bool { return len(m.fifo) < m.capacity })
 	m.fifo = append(m.fifo, v)
 	m.writes++
+	m.notePeak()
 	m.notEmpty.WakeAll(m.engine)
 }
 
@@ -87,8 +89,15 @@ func (m *Mailbox) WriteNonBlocking(v uint32) error {
 	}
 	m.fifo = append(m.fifo, v)
 	m.writes++
+	m.notePeak()
 	m.notEmpty.WakeAll(m.engine)
 	return nil
+}
+
+func (m *Mailbox) notePeak() {
+	if len(m.fifo) > m.peak {
+		m.peak = len(m.fifo)
+	}
 }
 
 // TryWrite enqueues v without blocking; it reports whether it succeeded.
@@ -132,6 +141,9 @@ func (m *Mailbox) Writes() uint64 { return m.writes }
 
 // Reads reports the cumulative number of successful reads.
 func (m *Mailbox) Reads() uint64 { return m.reads }
+
+// Peak reports the occupancy high-water mark over the mailbox's lifetime.
+func (m *Mailbox) Peak() int { return m.peak }
 
 // SignalMode selects how concurrent writes to a signal register combine.
 type SignalMode int

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spe0", "commands")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("spe0", "commands") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("spe0", "queue_peak")
+	g.SetMax(3)
+	g.SetMax(7)
+	g.SetMax(2)
+	if g.Value() != 7 {
+		t.Fatalf("gauge high-water = %d, want 7", g.Value())
+	}
+	g.Set(1)
+	if g.Value() != 1 {
+		t.Fatalf("gauge after Set = %d, want 1", g.Value())
+	}
+
+	h := r.Histogram("mfc0", "dma_size", []int64{128, 1024, 16384})
+	for _, v := range []int64{64, 128, 129, 4096, 99999} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	s, ok := r.Snapshot().Get("mfc0", "dma_size", "histogram")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	want := []int64{2, 1, 1, 1} // <=128: {64,128}; <=1024: {129}; <=16384: {4096}; rest: {99999}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+	if s.Sum != 64+128+129+4096+99999 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "y")
+	g := r.Gauge("x", "y")
+	h := r.Histogram("x", "y", []int64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestHotPathUpdatesDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spe0", "ops")
+	g := r.Gauge("spe0", "depth")
+	h := r.Histogram("spe0", "sizes", []int64{16, 256, 4096})
+	var nilC *Counter
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.SetMax(9)
+		h.Observe(300)
+		nilC.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path updates allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register in scrambled order; snapshot must sort.
+	r.Counter("z", "a").Inc()
+	r.Gauge("a", "z").Set(1)
+	r.Counter("a", "a").Inc()
+	r.Histogram("m", "h", []int64{1}).Observe(0)
+	s := r.Snapshot()
+	if !sort.SliceIsSorted(s.Samples, func(i, j int) bool {
+		a, b := s.Samples[i], s.Samples[j]
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Type < b.Type
+	}) {
+		t.Fatalf("snapshot not sorted: %+v", s.Samples)
+	}
+
+	var b1, b2 bytes.Buffer
+	if err := s.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two snapshots of the same registry serialized differently")
+	}
+	var doc Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("eib", "bytes")
+	g := r.Gauge("mem", "peak")
+	h := r.Histogram("mfc0", "sz", []int64{10})
+	c.Add(100)
+	g.Set(50)
+	h.Observe(5)
+	before := r.Snapshot()
+	c.Add(25)
+	g.Set(80)
+	h.Observe(20)
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if s, _ := d.Get("eib", "bytes", "counter"); s.Value != 25 {
+		t.Fatalf("counter delta = %d, want 25", s.Value)
+	}
+	if s, _ := d.Get("mem", "peak", "gauge"); s.Value != 80 {
+		t.Fatalf("gauge in diff = %d, want current value 80", s.Value)
+	}
+	s, _ := d.Get("mfc0", "sz", "histogram")
+	if s.Value != 1 || s.Counts[0] != 0 || s.Counts[1] != 1 || s.Sum != 20 {
+		t.Fatalf("histogram delta = %+v", s)
+	}
+	// Diff must not mutate its inputs.
+	if s, _ := after.Get("eib", "bytes", "counter"); s.Value != 125 {
+		t.Fatalf("Diff mutated the newer snapshot: %d", s.Value)
+	}
+
+	if d := after.Diff(nil); d == nil || len(d.Samples) != len(after.Samples) {
+		t.Fatal("diff against nil must copy")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds must panic at registration")
+		}
+	}()
+	NewRegistry().Histogram("x", "y", []int64{5, 5})
+}

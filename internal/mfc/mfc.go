@@ -16,7 +16,9 @@ import (
 	"cellport/internal/eib"
 	"cellport/internal/ls"
 	"cellport/internal/mainmem"
+	"cellport/internal/metrics"
 	"cellport/internal/sim"
+	"cellport/internal/trace"
 )
 
 // Hardware limits.
@@ -92,6 +94,29 @@ type MFC struct {
 	bytesOut  uint64 // LS -> main memory
 	listCmds  uint64
 	peakQueue int
+
+	// Optional observability (nil when uninstrumented). tracer lanes carry
+	// one span per DMA command, from bus start to completion; histogram
+	// handles are nil-safe, so the uninstrumented path pays one branch.
+	tracer    trace.Tracer
+	lane      string
+	sizeHist  *metrics.Histogram
+	depthHist *metrics.Histogram
+}
+
+// SetTracer installs (or clears, with nil) a tracer; each DMA command
+// emits one KindDMA span on the given lane covering its bus time.
+func (m *MFC) SetTracer(t trace.Tracer, lane string) {
+	m.tracer = t
+	m.lane = lane
+}
+
+// SetMetrics registers the MFC's histograms under component: transfer
+// sizes in bytes and queue depth sampled at each command issue. A nil
+// registry yields nil-safe no-op handles.
+func (m *MFC) SetMetrics(reg *metrics.Registry, component string) {
+	m.sizeHist = reg.Histogram(component, "dma_size_bytes", []int64{128, 1024, 4096, 16384})
+	m.depthHist = reg.Histogram(component, "queue_depth", []int64{1, 2, 4, 8, 16})
 }
 
 // SetFaultHook installs (or clears, with nil) the per-command fault hook.
@@ -249,11 +274,13 @@ func (m *MFC) Get(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 	m.noteQueueDepth()
 	m.tagPending[tag]++
 	m.commands++
+	m.sizeHist.Observe(int64(size))
 	act := m.sampleFault()
 	if act == FaultDrop {
 		return nil // the command is lost; its tag never completes
 	}
 	m.scheduleStart(func() {
+		t0 := m.engine.Now()
 		var tr *eib.Transfer
 		tr = m.bus.Start(eib.PortMemory, m.port, int64(size), func() {
 			m.untrack(tr)
@@ -262,6 +289,7 @@ func (m *MFC) Get(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 				m.corrupt(dst)
 			}
 			m.bytesIn += uint64(size)
+			m.span(t0, "get")
 			m.finish(tag)
 		})
 		m.track(tr)
@@ -288,11 +316,13 @@ func (m *MFC) Put(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 	m.noteQueueDepth()
 	m.tagPending[tag]++
 	m.commands++
+	m.sizeHist.Observe(int64(size))
 	act := m.sampleFault()
 	if act == FaultDrop {
 		return nil // the command is lost; its tag never completes
 	}
 	m.scheduleStart(func() {
+		t0 := m.engine.Now()
 		var tr *eib.Transfer
 		tr = m.bus.Start(m.port, eib.PortMemory, int64(size), func() {
 			m.untrack(tr)
@@ -301,6 +331,7 @@ func (m *MFC) Put(p *sim.Proc, lsa ls.Addr, ea mainmem.Addr, size uint32, tag in
 				m.corrupt(dst)
 			}
 			m.bytesOut += uint64(size)
+			m.span(t0, "put")
 			m.finish(tag)
 		})
 		m.track(tr)
@@ -359,11 +390,20 @@ func (m *MFC) listCmd(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int, get
 	m.tagPending[tag]++
 	m.commands++
 	m.listCmds++
+	for _, pc := range pieces {
+		m.sizeHist.Observe(int64(pc.size))
+	}
 	act := m.sampleFault()
 	if act == FaultDrop {
 		return nil // the command is lost; its tag never completes
 	}
-	// Elements stream serially on the bus under a single startup latency.
+	label := "get-list"
+	if !get {
+		label = "put-list"
+	}
+	// Elements stream serially on the bus under a single startup latency;
+	// one span covers the whole list.
+	var t0 sim.Time
 	var runElement func(i int)
 	runElement = func(i int) {
 		pc := pieces[i]
@@ -387,12 +427,23 @@ func (m *MFC) listCmd(p *sim.Proc, lsa ls.Addr, list []ListElement, tag int, get
 				runElement(i + 1)
 				return
 			}
+			m.span(t0, label)
 			m.finish(tag)
 		})
 		m.track(tr)
 	}
-	m.scheduleStart(func() { runElement(0) })
+	m.scheduleStart(func() {
+		t0 = m.engine.Now()
+		runElement(0)
+	})
 	return nil
+}
+
+// span emits one DMA span on the MFC's lane, if a tracer is installed.
+func (m *MFC) span(start sim.Time, label string) {
+	if m.tracer != nil {
+		m.tracer.Span(m.lane, start, m.engine.Now(), trace.KindDMA, label)
+	}
 }
 
 func (m *MFC) finish(tag int) {
@@ -402,9 +453,11 @@ func (m *MFC) finish(tag int) {
 }
 
 func (m *MFC) noteQueueDepth() {
-	if d := QueueDepth - m.slots.Available(); d > m.peakQueue {
+	d := QueueDepth - m.slots.Available()
+	if d > m.peakQueue {
 		m.peakQueue = d
 	}
+	m.depthHist.Observe(int64(d))
 }
 
 // TagPending reports outstanding commands under a tag.

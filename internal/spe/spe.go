@@ -118,6 +118,7 @@ func (s *SPE) Fail(reason string) {
 	}
 	s.failed = true
 	s.failReason = reason
+	trace.RecordInstant(s.tracer, fmt.Sprintf("SPE%d", s.id), s.engine.Now(), "fail: "+reason)
 	if s.proc != nil {
 		s.proc.Kill()
 		s.proc = nil

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cellport/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds a small deterministic recording exercising every
+// event shape: spans on PPE/SPE/MFC lanes, same-timestamp ties, and
+// instant events.
+func goldenRecorder() *Recorder {
+	r := NewRecorder()
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Time(sim.Microsecond) }
+	r.Span("PPE", us(0), us(40), KindIO, "load-input")
+	r.Span("PPE", us(40), us(50), KindCompute, "dispatch")
+	r.Span("SPE0", us(50), us(90), KindCompute, "kernel")
+	r.Span("SPE1", us(50), us(95), KindCompute, "kernel")
+	r.Span("MFC0", us(45), us(50), KindDMA, "get")
+	r.Span("MFC0", us(90), us(92), KindDMA, "put")
+	r.Span("MFC1", us(45), us(50), KindDMA, "get")
+	r.Span("SPE0", us(90), us(90), KindWait, "drain") // zero-length
+	r.Instant("SPE1", us(70), "fault: dma-corrupt")
+	r.Instant("PPE", us(95), "watchdog: kill SPE1")
+	return r
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	procs := []ChromeProcess{{Pid: 1, Name: "fig7/n=2", Rec: goldenRecorder()}}
+	if err := WriteChrome(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace differs from golden; run with -update if intended.\ngot:\n%s", buf.String())
+	}
+}
+
+// chromeDoc mirrors the subset of the trace format the tests inspect.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		S    string            `json:"s"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeValidAndMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	procs := []ChromeProcess{
+		{Pid: 1, Name: "run-a", Rec: goldenRecorder()},
+		{Pid: 2, Name: "run-b", Rec: goldenRecorder()},
+		{Pid: 3, Name: "empty", Rec: NewRecorder()},
+		{Pid: 4, Name: "nil", Rec: nil},
+	}
+	if err := WriteChrome(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	type track struct{ pid, tid int }
+	last := map[track]float64{}
+	laneNames := map[track]string{}
+	instants := 0
+	for _, ev := range doc.TraceEvents {
+		k := track{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				laneNames[k] = ev.Args["name"]
+			}
+		case "X", "i":
+			if prev, ok := last[k]; ok && ev.Ts < prev {
+				t.Fatalf("track %v (%s): ts %v after %v — not monotonic",
+					k, laneNames[k], ev.Ts, prev)
+			}
+			last[k] = ev.Ts
+			if ev.Ph == "i" {
+				instants++
+				if ev.S != "t" {
+					t.Fatalf("instant event missing thread scope: %+v", ev)
+				}
+			}
+			if ev.Ph == "X" && ev.Dur < 0 {
+				t.Fatalf("negative duration: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if instants != 4 { // 2 per non-empty process
+		t.Fatalf("instant events = %d, want 4", instants)
+	}
+
+	// Track layout: PPE first, then SPEs, then MFCs, within each process.
+	wantOrder := []string{"PPE", "SPE0", "SPE1", "MFC0", "MFC1"}
+	for pid := 1; pid <= 2; pid++ {
+		for i, lane := range wantOrder {
+			if got := laneNames[track{pid, i + 1}]; got != lane {
+				t.Fatalf("pid %d tid %d = %q, want %q", pid, i+1, got, lane)
+			}
+		}
+	}
+}
+
+func TestLaneOrdering(t *testing.T) {
+	in := []string{"MFC1", "SPE10", "Mem", "SPE2", "PPE", "MFC0", "EIB"}
+	want := []string{"PPE", "SPE2", "SPE10", "MFC0", "MFC1", "EIB", "Mem"}
+	got := append([]string(nil), in...)
+	for i := range got { // insertion sort via laneLess to keep it simple
+		for j := i; j > 0 && laneLess(got[j], got[j-1]); j-- {
+			got[j], got[j-1] = got[j-1], got[j]
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lane order = %v, want %v", got, want)
+		}
+	}
+}

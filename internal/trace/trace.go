@@ -30,6 +30,22 @@ type Tracer interface {
 	Span(lane string, start, end sim.Time, kind Kind, label string)
 }
 
+// InstantRecorder is implemented by tracers that also accept point events
+// (fault injections, watchdog kills). It is optional so existing Tracer
+// implementations keep working; use RecordInstant to deliver an instant to
+// any tracer.
+type InstantRecorder interface {
+	Instant(lane string, at sim.Time, label string)
+}
+
+// RecordInstant delivers a point event to t if it supports instants, and
+// discards it otherwise.
+func RecordInstant(t Tracer, lane string, at sim.Time, label string) {
+	if ir, ok := t.(InstantRecorder); ok {
+		ir.Instant(lane, at, label)
+	}
+}
+
 // Nop discards all spans.
 type Nop struct{}
 
@@ -38,7 +54,8 @@ func (Nop) Span(string, sim.Time, sim.Time, Kind, string) {}
 
 // Recorder accumulates spans for later rendering and accounting.
 type Recorder struct {
-	spans []Span
+	spans    []Span
+	instants []Instant
 }
 
 // Span is one recorded activity interval.
@@ -49,19 +66,38 @@ type Span struct {
 	Label      string
 }
 
+// Instant is one recorded point event (a fault injection, a watchdog
+// kill) — rendered as an instant marker in the Chrome trace export.
+type Instant struct {
+	Lane  string
+	At    sim.Time
+	Label string
+}
+
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Span implements Tracer.
+// Span implements Tracer. A span whose end precedes its start is clipped
+// to zero length at its start: a reversed interval is a recording bug, and
+// inventing activity over the reversed window (the old swap behaviour)
+// would corrupt BusyTime accounting and the rendered schedule.
 func (r *Recorder) Span(lane string, start, end sim.Time, kind Kind, label string) {
 	if end < start {
-		start, end = end, start
+		end = start
 	}
 	r.spans = append(r.spans, Span{Lane: lane, Start: start, End: end, Kind: kind, Label: label})
 }
 
+// Instant implements InstantRecorder.
+func (r *Recorder) Instant(lane string, at sim.Time, label string) {
+	r.instants = append(r.instants, Instant{Lane: lane, At: at, Label: label})
+}
+
 // Spans returns all recorded spans in recording order.
 func (r *Recorder) Spans() []Span { return r.spans }
+
+// Instants returns all recorded point events in recording order.
+func (r *Recorder) Instants() []Instant { return r.instants }
 
 // BusyTime sums span durations of the given kind per lane.
 func (r *Recorder) BusyTime(kind Kind) map[string]sim.Duration {
@@ -74,9 +110,9 @@ func (r *Recorder) BusyTime(kind Kind) map[string]sim.Duration {
 	return out
 }
 
-// Clip returns a new recorder holding only the parts of spans that
-// intersect [start, end] — useful to zoom a Gantt chart into one phase
-// (e.g. past an application's one-time setup).
+// Clip returns a new recorder holding only the parts of spans (and the
+// instants) that fall inside [start, end] — useful to zoom a Gantt chart
+// into one phase (e.g. past an application's one-time setup).
 func (r *Recorder) Clip(start, end sim.Time) *Recorder {
 	out := NewRecorder()
 	for _, s := range r.spans {
@@ -92,6 +128,11 @@ func (r *Recorder) Clip(start, end sim.Time) *Recorder {
 		}
 		out.spans = append(out.spans, c)
 	}
+	for _, i := range r.instants {
+		if i.At >= start && i.At <= end {
+			out.instants = append(out.instants, i)
+		}
+	}
 	return out
 }
 
@@ -100,6 +141,9 @@ func (r *Recorder) Lanes() []string {
 	set := map[string]bool{}
 	for _, s := range r.spans {
 		set[s.Lane] = true
+	}
+	for _, i := range r.instants {
+		set[i.Lane] = true
 	}
 	lanes := make([]string, 0, len(set))
 	for l := range set {
@@ -111,6 +155,9 @@ func (r *Recorder) Lanes() []string {
 
 // Gantt renders an ASCII Gantt chart with the given number of columns.
 // Each cell shows the kind of the activity dominating that time slot.
+// An empty recording, or one whose spans are all zero-length (a timeline
+// with no extent), renders a well-formed chart with blank bars rather
+// than dividing by the width of an empty timeline.
 func (r *Recorder) Gantt(w io.Writer, columns int) error {
 	if columns < 10 {
 		columns = 10
@@ -124,11 +171,11 @@ func (r *Recorder) Gantt(w io.Writer, columns int) error {
 			tMax = s.End
 		}
 	}
-	if len(r.spans) == 0 || tMax <= tMin {
+	if len(r.spans) == 0 {
 		_, err := fmt.Fprintln(w, "trace: no spans recorded")
 		return err
 	}
-	span := tMax.Sub(tMin)
+	span := tMax.Sub(tMin) // may be zero: all spans zero-length
 	lanes := r.Lanes()
 	width := 0
 	for _, l := range lanes {
@@ -140,7 +187,7 @@ func (r *Recorder) Gantt(w io.Writer, columns int) error {
 		row := make([]float64, columns) // accumulated busy fraction per cell
 		kinds := make([]Kind, columns)
 		for _, s := range r.spans {
-			if s.Lane != lane || s.Kind == KindWait {
+			if span <= 0 || s.Lane != lane || s.Kind == KindWait {
 				continue
 			}
 			f0 := float64(s.Start.Sub(tMin)) / float64(span) * float64(columns)

@@ -33,12 +33,58 @@ func TestRecorderAccumulates(t *testing.T) {
 	}
 }
 
-func TestSpanSwapsReversedEndpoints(t *testing.T) {
+func TestSpanClipsReversedEndpoints(t *testing.T) {
+	// A reversed interval is a recording bug; the recorder must not invent
+	// activity over the reversed window (the old swap behaviour inflated
+	// BusyTime), so it clips to zero length at the start timestamp.
 	r := NewRecorder()
 	r.Span("L", sim.Time(20), sim.Time(10), KindCompute, "rev")
 	s := r.Spans()[0]
-	if s.Start != 10 || s.End != 20 {
-		t.Fatalf("span = %+v", s)
+	if s.Start != 20 || s.End != 20 {
+		t.Fatalf("span = %+v, want clipped to [20,20]", s)
+	}
+	if busy := r.BusyTime(KindCompute)["L"]; busy != 0 {
+		t.Fatalf("reversed span contributed %v busy time", busy)
+	}
+}
+
+func TestGanttZeroDuration(t *testing.T) {
+	// All spans zero-length: the timeline has no extent, but the chart must
+	// still render every lane plus the footer instead of dividing by zero.
+	r := NewRecorder()
+	r.Span("PPE", sim.Time(5), sim.Time(5), KindCompute, "x")
+	r.Span("SPE0", sim.Time(5), sim.Time(5), KindDMA, "y")
+	var sb strings.Builder
+	if err := r.Gantt(&sb, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two lanes + footer
+		t.Fatalf("zero-duration gantt rendered %d lines:\n%s", len(lines), out)
+	}
+	for _, needle := range []string{"PPE", "SPE0"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("gantt missing lane %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestInstantsRecordedAndClipped(t *testing.T) {
+	r := NewRecorder()
+	RecordInstant(r, "SPE1", sim.Time(30), "fault: dma-drop")
+	RecordInstant(r, "SPE2", sim.Time(500), "fault: mbox-stall")
+	RecordInstant(Nop{}, "SPE1", sim.Time(30), "discarded") // must not panic
+	if got := len(r.Instants()); got != 2 {
+		t.Fatalf("instants = %d, want 2", got)
+	}
+	lanes := r.Lanes()
+	if len(lanes) != 2 || lanes[0] != "SPE1" || lanes[1] != "SPE2" {
+		t.Fatalf("lanes = %v", lanes)
+	}
+	c := r.Clip(0, 100)
+	if got := len(c.Instants()); got != 1 || c.Instants()[0].Label != "fault: dma-drop" {
+		t.Fatalf("clipped instants = %+v", c.Instants())
 	}
 }
 
