@@ -10,20 +10,31 @@
 //	paperbench -exp naive        # §5.3 pre-optimization speed-ups
 //	paperbench -exp hosts        # §5.2 reference-machine ratios
 //	paperbench -exp faults       # fault injection + self-healing runtime
+//	paperbench -exp serve        # multi-blade serving layer, estimator vs RR
 //	paperbench -quick            # reduced frames/sets for a fast pass
 //	paperbench -parallel 4       # worker pool for independent runs
 //	paperbench -nocache          # recompute artifacts per run (cold path)
 //	paperbench -json out.json    # machine-readable sidecar ("-" = stdout)
 //	paperbench -trace out.json   # Chrome trace (load at ui.perfetto.dev)
 //	paperbench -metrics m.json   # flat per-run metrics dump
-//	paperbench -faults <spec>    # explicit fault plan for -exp faults
+//	paperbench -faults <spec>    # explicit fault plan (-exp faults|serve)
 //	                             # (e.g. "crash:spe=0,at=5ms;dma-drop:spe=1,n=3")
-//	paperbench -faultseed 7      # seed-derived fault plan for -exp faults
+//	paperbench -faultseed 7      # seed-derived fault plan (-exp faults|serve)
+//	paperbench -rate 2.5         # serve: offered load, × estimated capacity
+//	paperbench -blades 4         # serve: blade-pool size
+//	paperbench -deadline 250     # serve: per-request deadline, virtual ms (<0 = none)
+//	paperbench -servesed 7       # serve: arrival-stream seed
+//	paperbench -burst 3          # serve: mean arrival burst size
 //
 // Independent simulation runs fan out over -parallel workers (default:
 // GOMAXPROCS); virtual-time results are identical at any setting. The
 // -json file records per-experiment host wall time alongside the
 // virtual-time data, so successive checkouts can track a perf trajectory.
+//
+// Flags are validated before anything runs: a negative -parallel, an
+// unknown -exp, or a flag aimed at an experiment that is not selected
+// (e.g. -faults with -exp table1) exits with status 2 and a one-line
+// usage hint, instead of silently ignoring the flag.
 //
 // All output files are written atomically (temp file + rename), so an
 // error mid-run can never leave a truncated artifact.
@@ -48,35 +59,145 @@ type jsonEntry struct {
 	Data   any     `json:"data"`
 }
 
-func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults")
-	quick := flag.Bool("quick", false, "reduced frame size and image sets")
-	jsonPath := flag.String("json", "", "write machine-readable results to this path (\"-\" for stdout)")
-	seed := flag.Uint64("seed", 20070710, "workload seed")
-	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = sequential)")
-	nocache := flag.Bool("nocache", false, "recompute workload artifacts for every run (cold-path calibration)")
-	faultSpec := flag.String("faults", "", "explicit fault plan for -exp faults (kind:spe=N,...;... — see internal/fault)")
-	faultSeed := flag.Uint64("faultseed", 0, "seed for a derived fault plan when -faults is empty (0 = seed 1)")
-	tracePath := flag.String("trace", "", "write a Chrome trace (Perfetto-loadable) of every ported run to this path")
-	metricsPath := flag.String("metrics", "", "write per-run metrics JSON to this path")
-	flag.Parse()
+// experimentNames lists every -exp value, in execution order.
+var experimentNames = []string{
+	"table1", "naive", "fig6", "fig7", "eqns", "profile", "hosts",
+	"scaling", "pipeline", "overhead", "faults", "serve",
+}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, NoCache: *nocache,
-		FaultSpec: *faultSpec, FaultSeed: *faultSeed}
-	if *tracePath != "" || *metricsPath != "" {
+const usageHint = "usage: paperbench [-exp all|table1|naive|fig6|fig7|eqns|profile|hosts|scaling|pipeline|overhead|faults|serve] [-quick] [-parallel N] [-json F] [-trace F] [-metrics F] (run with -help for all flags)"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options is the parsed command line.
+type options struct {
+	exp         string
+	quick       bool
+	jsonPath    string
+	seed        uint64
+	parallel    int
+	nocache     bool
+	faultSpec   string
+	faultSeed   uint64
+	tracePath   string
+	metricsPath string
+	rate        float64
+	blades      int
+	deadline    float64
+	serveSeed   uint64
+	burst       float64
+
+	set map[string]bool // flags explicitly given on the command line
+}
+
+// parseFlags parses args; flag errors (including -help) return nil and
+// the exit status to use.
+func parseFlags(args []string, errw io.Writer) (*options, int) {
+	o := &options{}
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.StringVar(&o.exp, "exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults|serve")
+	fs.BoolVar(&o.quick, "quick", false, "reduced frame size and image sets")
+	fs.StringVar(&o.jsonPath, "json", "", "write machine-readable results to this path (\"-\" for stdout)")
+	fs.Uint64Var(&o.seed, "seed", 20070710, "workload seed")
+	fs.IntVar(&o.parallel, "parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+	fs.BoolVar(&o.nocache, "nocache", false, "recompute workload artifacts for every run (cold-path calibration)")
+	fs.StringVar(&o.faultSpec, "faults", "", "explicit fault plan for -exp faults|serve (kind:spe=N,...;... — see internal/fault)")
+	fs.Uint64Var(&o.faultSeed, "faultseed", 0, "seed for a derived fault plan when -faults is empty (0 = seed 1; -exp faults|serve)")
+	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace (Perfetto-loadable) of every instrumented run to this path")
+	fs.StringVar(&o.metricsPath, "metrics", "", "write per-run metrics JSON to this path")
+	fs.Float64Var(&o.rate, "rate", 0, "serve: offered load as a multiple of estimated pool capacity (default 2)")
+	fs.IntVar(&o.blades, "blades", 0, "serve: number of simulated Cell blades (default 3)")
+	fs.Float64Var(&o.deadline, "deadline", 0, "serve: per-request deadline in virtual ms (0 = automatic, negative = none)")
+	fs.Uint64Var(&o.serveSeed, "servesed", 0, "serve: arrival-stream seed (default 7)")
+	fs.Float64Var(&o.burst, "burst", 0, "serve: mean arrival burst size (default 2)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil, 0
+		}
+		return nil, 2
+	}
+	o.set = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
+	return o, 0
+}
+
+// validate rejects inconsistent flag combinations before anything runs.
+// It returns an error message, or "" when the options are usable.
+func (o *options) validate() string {
+	if o.exp != "all" {
+		known := false
+		for _, name := range experimentNames {
+			if o.exp == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Sprintf("unknown experiment %q", o.exp)
+		}
+	}
+	if o.parallel < 0 {
+		return fmt.Sprintf("-parallel must be >= 0, got %d", o.parallel)
+	}
+	expSelects := func(names ...string) bool {
+		if o.exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if o.exp == n {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range []string{"faults", "faultseed"} {
+		if o.set[f] && !expSelects("faults", "serve") {
+			return fmt.Sprintf("-%s only applies to -exp faults or -exp serve, not -exp %s", f, o.exp)
+		}
+	}
+	for _, f := range []string{"rate", "blades", "deadline", "servesed", "burst"} {
+		if o.set[f] && !expSelects("serve") {
+			return fmt.Sprintf("-%s only applies to -exp serve, not -exp %s", f, o.exp)
+		}
+	}
+	return ""
+}
+
+func run(args []string, out, errw io.Writer) int {
+	o, status := parseFlags(args, errw)
+	if o == nil {
+		return status
+	}
+	if msg := o.validate(); msg != "" {
+		fmt.Fprintf(errw, "paperbench: %s\n", msg)
+		fmt.Fprintln(errw, usageHint)
+		return 2
+	}
+
+	cfg := experiments.Config{Quick: o.quick, Seed: o.seed, Parallel: o.parallel, NoCache: o.nocache,
+		FaultSpec: o.faultSpec, FaultSeed: o.faultSeed,
+		Serve: experiments.ServeConfig{
+			Blades:     o.blades,
+			Rate:       o.rate,
+			Burst:      o.burst,
+			DeadlineMS: o.deadline,
+			Seed:       o.serveSeed,
+		}}
+	if o.tracePath != "" || o.metricsPath != "" {
 		cfg.Collect = &experiments.Collector{}
 	}
-	out := os.Stdout
-	tables := *jsonPath != "-" // "-" routes JSON to stdout instead of tables
+	tables := o.jsonPath != "-" // "-" routes JSON to stdout instead of tables
 	jsonDoc := map[string]jsonEntry{}
 	start := time.Now()
-	matched := false
+	failed := false
 
-	run := func(name string, fn func() (any, error)) {
-		if *exp != "all" && *exp != name {
+	runExp := func(name string, fn func() (any, error)) {
+		if failed || (o.exp != "all" && o.exp != name) {
 			return
 		}
-		matched = true
 		if tables {
 			fmt.Fprintf(out, "==== %s ", name)
 			for i := len(name); i < 68; i++ {
@@ -87,8 +208,9 @@ func main() {
 		t0 := time.Now()
 		data, err := fn()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "paperbench: %s: %v\n", name, err)
+			failed = true
+			return
 		}
 		jsonDoc[name] = jsonEntry{WallMS: float64(time.Since(t0).Microseconds()) / 1000, Data: data}
 		if tables {
@@ -102,7 +224,7 @@ func main() {
 		}
 	}
 
-	run("table1", func() (any, error) {
+	runExp("table1", func() (any, error) {
 		rows, err := experiments.Table1(cfg)
 		if err != nil {
 			return nil, err
@@ -110,7 +232,7 @@ func main() {
 		render(func() { experiments.RenderTable1(out, rows) })
 		return rows, nil
 	})
-	run("naive", func() (any, error) {
+	runExp("naive", func() (any, error) {
 		rows, err := experiments.NaiveSpeedups(cfg)
 		if err != nil {
 			return nil, err
@@ -118,7 +240,7 @@ func main() {
 		render(func() { experiments.RenderNaive(out, rows) })
 		return rows, nil
 	})
-	run("fig6", func() (any, error) {
+	runExp("fig6", func() (any, error) {
 		rows, err := experiments.Fig6(cfg)
 		if err != nil {
 			return nil, err
@@ -126,7 +248,7 @@ func main() {
 		render(func() { experiments.RenderFig6(out, rows) })
 		return rows, nil
 	})
-	run("fig7", func() (any, error) {
+	runExp("fig7", func() (any, error) {
 		r, err := experiments.Fig7(cfg)
 		if err != nil {
 			return nil, err
@@ -134,7 +256,7 @@ func main() {
 		render(func() { experiments.RenderFig7(out, r) })
 		return r, nil
 	})
-	run("eqns", func() (any, error) {
+	runExp("eqns", func() (any, error) {
 		r, err := experiments.Eqns(cfg)
 		if err != nil {
 			return nil, err
@@ -142,7 +264,7 @@ func main() {
 		render(func() { experiments.RenderEqns(out, r) })
 		return r, nil
 	})
-	run("profile", func() (any, error) {
+	runExp("profile", func() (any, error) {
 		r, err := experiments.ProfileExp(cfg)
 		if err != nil {
 			return nil, err
@@ -150,7 +272,7 @@ func main() {
 		render(func() { experiments.RenderProfile(out, r) })
 		return r, nil
 	})
-	run("hosts", func() (any, error) {
+	runExp("hosts", func() (any, error) {
 		r, err := experiments.HostsExp(cfg)
 		if err != nil {
 			return nil, err
@@ -158,7 +280,7 @@ func main() {
 		render(func() { experiments.RenderHosts(out, r) })
 		return r, nil
 	})
-	run("scaling", func() (any, error) {
+	runExp("scaling", func() (any, error) {
 		rows, err := experiments.Scaling(cfg)
 		if err != nil {
 			return nil, err
@@ -166,7 +288,7 @@ func main() {
 		render(func() { experiments.RenderScaling(out, rows) })
 		return rows, nil
 	})
-	run("pipeline", func() (any, error) {
+	runExp("pipeline", func() (any, error) {
 		rows, err := experiments.Pipeline(cfg)
 		if err != nil {
 			return nil, err
@@ -174,7 +296,7 @@ func main() {
 		render(func() { experiments.RenderPipeline(out, rows) })
 		return rows, nil
 	})
-	run("overhead", func() (any, error) {
+	runExp("overhead", func() (any, error) {
 		rows, err := experiments.Overhead(cfg)
 		if err != nil {
 			return nil, err
@@ -182,7 +304,7 @@ func main() {
 		render(func() { experiments.RenderOverhead(out, rows) })
 		return rows, nil
 	})
-	run("faults", func() (any, error) {
+	runExp("faults", func() (any, error) {
 		r, err := experiments.FaultsExp(cfg)
 		if err != nil {
 			return nil, err
@@ -190,27 +312,34 @@ func main() {
 		render(func() { experiments.RenderFaults(out, r) })
 		return r, nil
 	})
+	runExp("serve", func() (any, error) {
+		r, err := experiments.ServeExp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		render(func() { experiments.RenderServe(out, r) })
+		return r, nil
+	})
 
-	if !matched {
-		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (see -exp in -help)\n", *exp)
-		os.Exit(2)
+	if failed {
+		return 1
 	}
 
-	if *tracePath != "" {
-		if err := atomicfile.WriteFile(*tracePath, cfg.Collect.WriteChromeTrace); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+	if o.tracePath != "" {
+		if err := atomicfile.WriteFile(o.tracePath, cfg.Collect.WriteChromeTrace); err != nil {
+			fmt.Fprintf(errw, "paperbench: %v\n", err)
+			return 1
 		}
 	}
-	if *metricsPath != "" {
-		if err := atomicfile.WriteFile(*metricsPath, cfg.Collect.WriteMetricsJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+	if o.metricsPath != "" {
+		if err := atomicfile.WriteFile(o.metricsPath, cfg.Collect.WriteMetricsJSON); err != nil {
+			fmt.Fprintf(errw, "paperbench: %v\n", err)
+			return 1
 		}
 	}
 
-	if *jsonPath == "" {
-		return
+	if o.jsonPath == "" {
+		return 0
 	}
 	doc := struct {
 		Config struct {
@@ -223,10 +352,10 @@ func main() {
 		TotalWallMS float64              `json:"total_wall_ms"`
 		Experiments map[string]jsonEntry `json:"experiments"`
 	}{TotalWallMS: float64(time.Since(start).Microseconds()) / 1000, Experiments: jsonDoc}
-	doc.Config.Quick = *quick
-	doc.Config.Seed = *seed
-	doc.Config.Parallel = *parallel
-	doc.Config.NoCache = *nocache
+	doc.Config.Quick = o.quick
+	doc.Config.Seed = o.seed
+	doc.Config.Parallel = o.parallel
+	doc.Config.NoCache = o.nocache
 	doc.Config.MaxProcs = runtime.GOMAXPROCS(0)
 
 	writeDoc := func(w io.Writer) error {
@@ -235,13 +364,14 @@ func main() {
 		return enc.Encode(doc)
 	}
 	var err error
-	if *jsonPath == "-" {
-		err = writeDoc(os.Stdout)
+	if o.jsonPath == "-" {
+		err = writeDoc(out)
 	} else {
-		err = atomicfile.WriteFile(*jsonPath, writeDoc)
+		err = atomicfile.WriteFile(o.jsonPath, writeDoc)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(errw, "paperbench: %v\n", err)
+		return 1
 	}
+	return 0
 }

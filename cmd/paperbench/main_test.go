@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidationMatrix pins the CLI contract: inconsistent flag
+// combinations exit with status 2 and a one-line usage hint before any
+// simulation runs, and valid combinations pass validation.
+func TestFlagValidationMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		status  int
+		errWant string // substring of stderr; "" means no error expected
+	}{
+		{"negative parallel", []string{"-parallel", "-2", "-exp", "eqns"}, 2, "-parallel must be >= 0"},
+		{"unknown exp", []string{"-exp", "fig9"}, 2, `unknown experiment "fig9"`},
+		{"unparseable flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"faults flag with wrong exp", []string{"-exp", "table1", "-faults", "crash:spe=0,at=5ms"}, 2, "-faults only applies"},
+		{"faultseed with wrong exp", []string{"-exp", "eqns", "-faultseed", "3"}, 2, "-faultseed only applies"},
+		{"rate with wrong exp", []string{"-exp", "faults", "-rate", "2"}, 2, "-rate only applies"},
+		{"blades with wrong exp", []string{"-exp", "fig6", "-blades", "4"}, 2, "-blades only applies"},
+		{"deadline with wrong exp", []string{"-exp", "profile", "-deadline", "100"}, 2, "-deadline only applies"},
+		{"servesed with wrong exp", []string{"-exp", "hosts", "-servesed", "9"}, 2, "-servesed only applies"},
+		{"burst with wrong exp", []string{"-exp", "overhead", "-burst", "3"}, 2, "-burst only applies"},
+		{"faults flag with faults exp", []string{"-exp", "faults", "-faults", "crash:spe=0,at=5ms"}, -1, ""},
+		{"faults flag with serve exp", []string{"-exp", "serve", "-faultseed", "3"}, -1, ""},
+		{"serve flags with serve exp", []string{"-exp", "serve", "-rate", "2", "-blades", "2", "-deadline", "-1", "-servesed", "9", "-burst", "1"}, -1, ""},
+		{"serve flags with all", []string{"-rate", "2"}, -1, ""},
+		{"plain quick eqns", []string{"-quick", "-exp", "eqns"}, -1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errw bytes.Buffer
+			o, status := parseFlags(tc.args, &errw)
+			if o == nil {
+				if tc.status != 2 {
+					t.Fatalf("parseFlags failed unexpectedly: %s", errw.String())
+				}
+				if status != 2 {
+					t.Fatalf("parse failure returned status %d, want 2", status)
+				}
+				if !strings.Contains(errw.String(), tc.errWant) {
+					t.Fatalf("stderr %q does not contain %q", errw.String(), tc.errWant)
+				}
+				return
+			}
+			msg := o.validate()
+			if tc.status == 2 {
+				if msg == "" {
+					t.Fatalf("validate accepted %v, want rejection", tc.args)
+				}
+				if !strings.Contains(msg, tc.errWant) {
+					t.Fatalf("message %q does not contain %q", msg, tc.errWant)
+				}
+			} else if msg != "" {
+				t.Fatalf("validate rejected %v: %s", tc.args, msg)
+			}
+		})
+	}
+}
+
+// TestRunRejectsBeforeExecuting checks the full run() path: a rejected
+// flag matrix entry must exit 2 with the usage hint and produce no
+// experiment output.
+func TestRunRejectsBeforeExecuting(t *testing.T) {
+	var out, errw bytes.Buffer
+	if status := run([]string{"-exp", "table1", "-rate", "2"}, &out, &errw); status != 2 {
+		t.Fatalf("status %d, want 2 (stderr: %s)", status, errw.String())
+	}
+	if !strings.Contains(errw.String(), usageHint) {
+		t.Fatalf("stderr missing usage hint: %s", errw.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("rejected invocation still produced output: %s", out.String())
+	}
+}
+
+// TestRunServeQuick smoke-tests the serve experiment end to end through
+// the CLI: valid invocation, JSON sidecar with the expected report
+// fields, zero exit.
+func TestRunServeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full serve calibration")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errw bytes.Buffer
+	args := []string{"-quick", "-exp", "serve", "-rate", "2", "-blades", "2", "-servesed", "7", "-json", jsonPath}
+	if status := run(args, &out, &errw); status != 0 {
+		t.Fatalf("status %d, stderr: %s", status, errw.String())
+	}
+	raw := readFileT(t, jsonPath)
+	var doc struct {
+		Experiments map[string]struct {
+			Data struct {
+				Estimator  map[string]json.RawMessage `json:"estimator"`
+				RoundRobin map[string]json.RawMessage `json:"round_robin"`
+			} `json:"data"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("sidecar did not parse: %v", err)
+	}
+	serve, ok := doc.Experiments["serve"]
+	if !ok {
+		t.Fatalf("sidecar missing serve experiment: %s", raw)
+	}
+	for _, rep := range []map[string]json.RawMessage{serve.Data.Estimator, serve.Data.RoundRobin} {
+		for _, field := range []string{"policy", "offered_rps", "achieved_rps", "served", "shed_rejected",
+			"latency_p50_fs", "latency_p95_fs", "latency_p99_fs", "per_blade"} {
+			if _, ok := rep[field]; !ok {
+				t.Fatalf("serve report missing %q: %s", field, raw)
+			}
+		}
+	}
+	if !strings.Contains(out.String(), "Serving layer") {
+		t.Fatalf("table output missing serve render: %s", out.String())
+	}
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -40,6 +40,18 @@ func (c *Collector) Add(label string, res *marvel.PortedResult) {
 	c.runs = append(c.runs, CollectedRun{Label: label, Trace: res.Trace, Metrics: res.Metrics})
 }
 
+// AddArtifacts records an observability artifact that did not come from
+// a single ported run — e.g. one serving blade's batch timeline and
+// counters. Nil-safe on the collector and on either artifact.
+func (c *Collector) AddArtifacts(label string, rec *trace.Recorder, snap *metrics.Snapshot) {
+	if c == nil || (rec == nil && snap == nil) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs = append(c.runs, CollectedRun{Label: label, Trace: rec, Metrics: snap})
+}
+
 // Runs returns the collected records sorted by label (ties keep insertion
 // order).
 func (c *Collector) Runs() []CollectedRun {

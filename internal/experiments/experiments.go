@@ -44,6 +44,8 @@ type Config struct {
 	// artifacts are gathered under a run label (see Collector). Nil keeps
 	// every run on its exact uninstrumented path.
 	Collect *Collector
+	// Serve sizes the serving-layer experiment (-exp serve).
+	Serve ServeConfig
 }
 
 // artifacts resolves the cache for this configuration's runs: an explicit

@@ -1,10 +1,6 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "cellport/internal/parallel"
 
 // The experiment grid is embarrassingly parallel: every simulation owns a
 // private sim.Engine, a private machine and a private workload, and all
@@ -15,59 +11,12 @@ import (
 // TestParallelRunnerDeterminism).
 
 // RunIndexed executes job(0..n-1) on up to `workers` goroutines and
-// returns the results in index order. workers <= 0 means GOMAXPROCS;
-// workers == 1 runs every job inline on the calling goroutine (the
-// sequential path). On failure the lowest-index error is returned and
-// in-flight jobs finish, but unstarted jobs are skipped.
+// returns the results in index order. It is the experiment-harness entry
+// point to parallel.RunIndexed (shared with the serving layer); see that
+// package for the determinism contract, in particular that on multiple
+// failures the lowest-index error is always the one returned.
 func RunIndexed[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
-	results := make([]T, n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			r, err := job(i)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = r
-		}
-		return results, nil
-	}
-
-	errs := make([]error, n)
-	var failed atomic.Bool
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				r, err := job(i)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					return
-				}
-				results[i] = r
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return parallel.RunIndexed(workers, n, job)
 }
 
 // workers resolves the configured parallelism for this experiment config.

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"math"
+
+	"cellport/internal/sim"
+)
+
+// The load generator produces a seeded, open-loop arrival stream: request
+// timestamps are drawn up front from a splitmix64 stream and never react
+// to the serving side (arrivals keep coming whether or not the blades
+// keep up — the overload regime the admission layer exists for). The
+// same (seed, rate, burst, tallFrac, n) always yields byte-identical
+// streams, which is what makes a whole serve run a pure function of its
+// configuration.
+
+// Request is one concept-detection query: classify a single frame of the
+// given geometry against the model library.
+type Request struct {
+	// ID is the arrival-order index (also the corpus image the request
+	// conceptually addresses).
+	ID int
+	// Arrival is the request's virtual arrival timestamp.
+	Arrival sim.Time
+	// Tall marks the larger frame geometry (double-height); only
+	// same-geometry requests can be coalesced into one SPE dispatch.
+	Tall bool
+	// Deadline is the virtual completion deadline (sim.Never when the
+	// stream runs without deadlines).
+	Deadline sim.Time
+}
+
+// splitmix64 is the same tiny, well-mixed PRNG the fault planner uses;
+// the stream is fully determined by the seed.
+type splitmix64 uint64
+
+func (r *splitmix64) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *splitmix64) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// exp returns an exponential draw with the given rate (per virtual
+// second), as a virtual duration.
+func (r *splitmix64) exp(rate float64) sim.Duration {
+	// Log1p(-u) keeps the tail exact for u near 0 and can never hit
+	// log(0) since u < 1.
+	return sim.FromSeconds(-math.Log1p(-r.float()) / rate)
+}
+
+// arrivals generates the stream: n requests at an average of ratePerSec
+// requests per virtual second. Burstiness burst >= 1 groups arrivals into
+// bursts whose size is geometric with mean burst (burst = 1 degenerates
+// to a plain Poisson process); the burst-event rate is scaled down by the
+// mean burst size so the offered load stays ratePerSec.
+func arrivals(seed uint64, n int, ratePerSec, burst, tallFrac float64, deadline sim.Duration) []Request {
+	if burst < 1 {
+		burst = 1
+	}
+	rng := splitmix64(seed)
+	out := make([]Request, 0, n)
+	t := sim.Time(0)
+	for len(out) < n {
+		t = t.Add(rng.exp(ratePerSec / burst))
+		// Geometric burst size, mean `burst`: count failures of a
+		// p = 1/burst trial.
+		size := 1
+		for rng.float() >= 1/burst {
+			size++
+		}
+		for i := 0; i < size && len(out) < n; i++ {
+			r := Request{
+				ID:       len(out),
+				Arrival:  t,
+				Tall:     rng.float() < tallFrac,
+				Deadline: sim.Never,
+			}
+			if deadline > 0 {
+				r.Deadline = t.Add(deadline)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"cellport/internal/sim"
+	"cellport/internal/trace"
+)
+
+// blade is one serving Cell blade: a bounded admission queue plus the
+// in-flight dispatch, if any. The blade's machine itself is not held
+// here — dispatch timing comes from the calibrated service table, which
+// was measured on a machine identical to the one this blade models.
+type blade struct {
+	id   int
+	lane string
+
+	queue []Request
+	busy  bool
+	warm  bool
+	start sim.Time // current dispatch start (batch work, after any warmup)
+	done  sim.Time // current dispatch completion
+	cur   []Request
+	deg   bool // current dispatch runs degraded (supervised recovery)
+
+	dispatches int
+	requests   int
+	busyTime   sim.Duration
+	warmupTime sim.Duration
+
+	tr  trace.Tracer
+	rec *trace.Recorder
+}
+
+// pool is the deterministic serving event loop: a virtual clock advanced
+// strictly by arrival and completion events. Completions at a timestamp
+// are processed before arrivals at the same timestamp; simultaneous
+// completions resolve by blade index.
+type pool struct {
+	cfg      Config
+	cal      *Calibration
+	deadline sim.Duration
+	blades   []*blade
+	rr       int
+	now      sim.Time
+
+	served        int
+	late          int
+	degraded      int
+	shedRejected  int
+	shedExpired   int
+	batches       int
+	batchRequests int
+	fallbacks     int
+	schemeBatches map[string]int
+	latencies     []sim.Duration
+	lastDone      sim.Time
+}
+
+func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
+	p := &pool{cfg: cfg, cal: cal, deadline: deadline, schemeBatches: map[string]int{}}
+	for i := 0; i < cfg.Blades; i++ {
+		b := &blade{id: i, lane: fmt.Sprintf("blade%d", i), tr: trace.Nop{}}
+		if cfg.Instrument {
+			b.rec = trace.NewRecorder()
+			b.tr = b.rec
+		}
+		p.blades = append(p.blades, b)
+	}
+	return p
+}
+
+// run plays the event loop over the arrival stream until every admitted
+// request has completed or been shed.
+func (p *pool) run(reqs []Request) {
+	ai := 0
+	for {
+		nextArr := sim.Never
+		if ai < len(reqs) {
+			nextArr = reqs[ai].Arrival
+		}
+		db := p.earliestBusy()
+		doneT := sim.Never
+		if db != nil {
+			doneT = db.done
+		}
+		if doneT == sim.Never && nextArr == sim.Never {
+			return
+		}
+		if doneT <= nextArr {
+			p.now = doneT
+			p.complete(db)
+		} else {
+			p.now = nextArr
+			p.admit(reqs[ai])
+			ai++
+		}
+	}
+}
+
+// earliestBusy returns the busy blade finishing first (lowest index on
+// ties), or nil when the pool is idle.
+func (p *pool) earliestBusy() *blade {
+	var best *blade
+	for _, b := range p.blades {
+		if b.busy && (best == nil || b.done < best.done) {
+			best = b
+		}
+	}
+	return best
+}
+
+// estOne is the estimator's per-request service estimate (a lone
+// dispatch), used to score queue backlogs and deadline feasibility. When
+// the Eq. 3 estimate is inconclusive it falls back to the measured
+// single-request service, which the calibration table always has.
+func (p *pool) estOne(r Request) sim.Duration {
+	if est := p.cal.estService(SchemeJob, r.Tall, 1); est > 0 {
+		return est
+	}
+	return p.cal.service(svcKey{Scheme: SchemeJob, Tall: r.Tall, K: 1}).Service
+}
+
+// placeOrder ranks the blades for admitting r. The estimator policy
+// orders by earliest estimated finish (remaining in-flight work plus the
+// estimated backlog of queued requests); the round-robin policy — and
+// the estimator when its scores cannot separate the blades — uses plain
+// rotation.
+func (p *pool) placeOrder(r Request) []*blade {
+	n := len(p.blades)
+	rot := func() []*blade {
+		out := make([]*blade, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, p.blades[(p.rr+i)%n])
+		}
+		p.rr = (p.rr + 1) % n
+		return out
+	}
+	if p.cfg.Policy == PolicyRoundRobin || !p.cal.Conclusive() {
+		return rot()
+	}
+	scores := make([]sim.Duration, n)
+	for i, b := range p.blades {
+		var s sim.Duration
+		if b.busy {
+			s += b.done.Sub(p.now)
+		}
+		if !b.warm {
+			s += p.cal.service(svcKey{Scheme: SchemeJob, Tall: false, K: 1}).Warmup
+		}
+		for _, q := range b.queue {
+			s += p.estOne(q)
+		}
+		scores[i] = s
+	}
+	min, max := scores[0], scores[0]
+	for _, s := range scores[1:] {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min == max {
+		// All blades look identical to the estimator: inconclusive, so
+		// rotate to avoid piling onto blade 0.
+		p.fallbacks++
+		return rot()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	out := make([]*blade, n)
+	for i, j := range idx {
+		out[i] = p.blades[j]
+	}
+	return out
+}
+
+// admit places one arrival on the first blade in policy preference order
+// with queue room, dispatching immediately if that blade is idle.
+// Arrivals finding every candidate queue full are shed (backpressure).
+func (p *pool) admit(r Request) {
+	order := p.placeOrder(r)
+	for _, b := range order {
+		if len(b.queue) < p.cfg.MaxQueue {
+			b.queue = append(b.queue, r)
+			if !b.busy {
+				p.dispatch(b)
+			}
+			return
+		}
+	}
+	p.shedRejected++
+	first := order[0]
+	trace.RecordInstant(first.tr, first.lane, p.now, fmt.Sprintf("shed-rejected req %d", r.ID))
+}
+
+// dispatch sheds queued requests that can no longer meet their deadline,
+// coalesces the head-compatible requests into one batch, picks the
+// scheduling scheme, and starts the dispatch on b.
+func (p *pool) dispatch(b *blade) {
+	// A request that cannot finish by its deadline even if dispatched
+	// alone right now is hopeless: shed it instead of wasting a blade.
+	keep := b.queue[:0]
+	for _, r := range b.queue {
+		if r.Deadline != sim.Never && p.now.Add(p.estOne(r)) > r.Deadline {
+			p.shedExpired++
+			trace.RecordInstant(b.tr, b.lane, p.now, fmt.Sprintf("shed-expired req %d", r.ID))
+			continue
+		}
+		keep = append(keep, r)
+	}
+	b.queue = keep
+	if len(b.queue) == 0 {
+		return
+	}
+
+	// Coalesce: the head request plus every same-geometry request behind
+	// it, in arrival order, up to the batch bound.
+	tall := b.queue[0].Tall
+	batch := make([]Request, 0, p.cfg.MaxBatch)
+	rest := b.queue[:0]
+	for _, r := range b.queue {
+		if r.Tall == tall && len(batch) < p.cfg.MaxBatch {
+			batch = append(batch, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	b.queue = rest
+
+	scheme := SchemeJob
+	if p.cfg.Policy == PolicyEstimator && p.cal.Conclusive() {
+		if s, _, ok := p.cal.estBest(tall, len(batch)); ok {
+			scheme = s
+		} else {
+			p.fallbacks++ // estimate can't separate the schemes: job-distribution default
+		}
+	}
+
+	s := p.cal.service(svcKey{Scheme: scheme, Tall: tall, K: len(batch)})
+	start := p.now
+	if !b.warm {
+		b.warm = true
+		b.warmupTime = s.Warmup
+		b.tr.Span(b.lane, start, start.Add(s.Warmup), trace.KindIO, "warmup: model library load")
+		start = start.Add(s.Warmup)
+	}
+	b.busy = true
+	b.start = start
+	b.done = start.Add(s.Service)
+	b.cur = batch
+	b.deg = s.Degraded
+	b.dispatches++
+	p.batches++
+	p.batchRequests += len(batch)
+	p.schemeBatches[scheme.String()]++
+	geom := ""
+	if tall {
+		geom = " tall"
+	}
+	b.tr.Span(b.lane, start, b.done, trace.KindCompute,
+		fmt.Sprintf("batch#%d ×%d %s%s", b.dispatches, len(batch), scheme, geom))
+}
+
+// complete retires b's in-flight batch, accounts per-request latency and
+// deadline outcomes, and immediately redispatches if work is queued.
+func (p *pool) complete(b *blade) {
+	t := b.done
+	for _, r := range b.cur {
+		p.served++
+		p.latencies = append(p.latencies, t.Sub(r.Arrival))
+		if r.Deadline != sim.Never && t > r.Deadline {
+			p.late++
+		}
+		if b.deg {
+			p.degraded++
+		}
+	}
+	b.requests += len(b.cur)
+	b.busyTime += t.Sub(b.start)
+	if t > p.lastDone {
+		p.lastDone = t
+	}
+	b.busy = false
+	b.cur = nil
+	p.dispatch(b)
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"cellport/internal/metrics"
+	"cellport/internal/sim"
+	"cellport/internal/trace"
+)
+
+// BladeStats is one blade's share of the run. Trace and Metrics are
+// populated only when Config.Instrument is set and are excluded from
+// JSON so serialized reports are byte-identical either way.
+type BladeStats struct {
+	Blade      int          `json:"blade"`
+	Dispatches int          `json:"dispatches"`
+	Requests   int          `json:"requests"`
+	Busy       sim.Duration `json:"busy_fs"`
+	Warmup     sim.Duration `json:"warmup_fs"`
+
+	Trace   *trace.Recorder   `json:"-"`
+	Metrics *metrics.Snapshot `json:"-"`
+}
+
+// Report is the outcome of one serve run: a pure function of (Config,
+// seed). All durations are virtual femtoseconds; throughputs are
+// requests per virtual second.
+type Report struct {
+	Policy   string `json:"policy"`
+	Blades   int    `json:"blades"`
+	Requests int    `json:"requests"`
+
+	PerBladeCapacityRPS float64      `json:"per_blade_capacity_rps"`
+	OfferedRPS          float64      `json:"offered_rps"`
+	AchievedRPS         float64      `json:"achieved_rps"`
+	RateMultiple        float64      `json:"rate_multiple"`
+	Deadline            sim.Duration `json:"deadline_fs"`
+
+	Served       int `json:"served"`
+	Late         int `json:"late"`
+	Degraded     int `json:"degraded"`
+	ShedRejected int `json:"shed_rejected"`
+	ShedExpired  int `json:"shed_expired"`
+
+	Batches             int            `json:"batches"`
+	MeanBatch           float64        `json:"mean_batch"`
+	SchemeBatches       map[string]int `json:"scheme_batches"`
+	PolicyFallbacks     int            `json:"policy_fallbacks"`
+	EstimatorConclusive bool           `json:"estimator_conclusive"`
+
+	Makespan   sim.Duration `json:"makespan_fs"`
+	LatencyP50 sim.Duration `json:"latency_p50_fs"`
+	LatencyP95 sim.Duration `json:"latency_p95_fs"`
+	LatencyP99 sim.Duration `json:"latency_p99_fs"`
+
+	PerBlade []BladeStats `json:"per_blade"`
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of the sample by the
+// nearest-rank method on a sorted copy; 0 for an empty sample.
+func percentile(sample []sim.Duration, q float64) sim.Duration {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Duration(nil), sample...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (p *pool) report(offered float64) *Report {
+	r := &Report{
+		Policy:              p.cfg.Policy.String(),
+		Blades:              p.cfg.Blades,
+		Requests:            p.cfg.Requests,
+		PerBladeCapacityRPS: p.cal.perBlade,
+		OfferedRPS:          offered,
+		RateMultiple:        p.cfg.Rate,
+		Deadline:            p.deadline,
+		Served:              p.served,
+		Late:                p.late,
+		Degraded:            p.degraded,
+		ShedRejected:        p.shedRejected,
+		ShedExpired:         p.shedExpired,
+		Batches:             p.batches,
+		SchemeBatches:       p.schemeBatches,
+		PolicyFallbacks:     p.fallbacks,
+		EstimatorConclusive: p.cal.Conclusive(),
+		Makespan:            p.lastDone.Sub(0),
+		LatencyP50:          percentile(p.latencies, 0.50),
+		LatencyP95:          percentile(p.latencies, 0.95),
+		LatencyP99:          percentile(p.latencies, 0.99),
+	}
+	if p.batches > 0 {
+		r.MeanBatch = float64(p.batchRequests) / float64(p.batches)
+	}
+	if p.served > 0 && p.lastDone > 0 {
+		r.AchievedRPS = float64(p.served) / p.lastDone.Seconds()
+	}
+	for _, b := range p.blades {
+		bs := BladeStats{
+			Blade:      b.id,
+			Dispatches: b.dispatches,
+			Requests:   b.requests,
+			Busy:       b.busyTime,
+			Warmup:     b.warmupTime,
+			Trace:      b.rec,
+		}
+		if p.cfg.Instrument {
+			reg := metrics.NewRegistry()
+			reg.Counter(b.lane, "dispatches").Add(int64(b.dispatches))
+			reg.Counter(b.lane, "requests").Add(int64(b.requests))
+			reg.Counter(b.lane, "busy_fs").Add(int64(b.busyTime))
+			reg.Counter(b.lane, "warmup_fs").Add(int64(b.warmupTime))
+			bs.Metrics = reg.Snapshot()
+		}
+		r.PerBlade = append(r.PerBlade, bs)
+	}
+	return r
+}

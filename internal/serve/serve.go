@@ -1,0 +1,201 @@
+// Package serve is the multi-blade serving layer: a pool of simulated
+// Cell blades (each a private deterministic machine) serving a seeded,
+// open-loop stream of MARVEL concept-detection requests. Admission is
+// backpressured per blade, compatible requests are coalesced into one
+// SPE dispatch, and the placement policy uses the paper's Eqs. 1-3
+// estimator to pick both the blade and the scheduling scheme (job vs
+// data distribution) per batch, falling back to round-robin when the
+// estimate is inconclusive. Every run is a pure function of (Config,
+// seed): virtual time only, no host clocks, so the same configuration
+// always produces a byte-identical report.
+package serve
+
+import (
+	"fmt"
+
+	"cellport/internal/cell"
+	"cellport/internal/fault"
+	"cellport/internal/marvel"
+	"cellport/internal/sim"
+)
+
+// Policy selects how arrivals are placed onto blades and how batches
+// pick their scheduling scheme.
+type Policy int
+
+const (
+	// PolicyEstimator places each request on the blade with the earliest
+	// estimated finish and picks the batch's scheduling scheme by the
+	// Eqs. 1-3 service estimate, falling back to round-robin rotation /
+	// the job-distribution default when the estimate cannot separate the
+	// candidates.
+	PolicyEstimator Policy = iota
+	// PolicyRoundRobin rotates placement over the blades and always
+	// dispatches under job distribution — the estimator-free baseline.
+	PolicyRoundRobin
+)
+
+func (p Policy) String() string {
+	if p == PolicyRoundRobin {
+		return "round-robin"
+	}
+	return "estimator"
+}
+
+// Config describes one serve run.
+type Config struct {
+	// Blades is the number of simulated Cell blades in the pool.
+	Blades int
+	// MaxQueue bounds each blade's admission queue; arrivals finding
+	// every candidate queue full are shed (backpressure).
+	MaxQueue int
+	// MaxBatch bounds how many compatible requests one SPE dispatch may
+	// coalesce.
+	MaxBatch int
+	// Requests is the length of the generated arrival stream.
+	Requests int
+	// Rate is the offered load as a multiple of the pool's estimated
+	// capacity (Blades × per-blade full-batch throughput); values above
+	// 1 drive the pool into overload.
+	Rate float64
+	// Burst is the mean arrival burst size (1 = plain Poisson arrivals).
+	Burst float64
+	// TallFrac is the fraction of requests carrying the double-height
+	// frame geometry; only same-geometry requests coalesce.
+	TallFrac float64
+	// Deadline is each request's virtual completion budget after
+	// arrival. Zero selects an automatic deadline (one blade warmup
+	// plus 6× the best measured full-batch service time); negative
+	// disables deadlines.
+	Deadline sim.Duration
+	// Seed drives the arrival stream.
+	Seed uint64
+	// Policy selects the placement/scheme policy.
+	Policy Policy
+	// Frame sets the base frame geometry and corpus seed (Images is
+	// ignored; the zero value selects the paper's 352×240 workload).
+	Frame marvel.Workload
+	// Variant selects the kernel port variant used by every dispatch.
+	Variant marvel.Variant
+	// MachineConfig overrides the per-blade machine (nil selects the
+	// default machine with blade-sized 64 MB memory).
+	MachineConfig *cell.Config
+	// Artifacts shares workload artifacts across calibration runs; nil
+	// uses the process-wide shared cache.
+	Artifacts *marvel.ArtifactCache
+	// Faults, when non-nil, arms the deterministic fault plan inside
+	// every dispatch simulation, so measured services include the
+	// supervision loop's retries and fallbacks (degraded service).
+	Faults *fault.Plan
+	// Watchdog overrides the supervision watchdog (only with Faults).
+	Watchdog sim.Duration
+	// Parallel bounds the worker pool used for calibration simulations;
+	// it never affects results, only wall-clock time.
+	Parallel int
+	// Instrument attaches a per-blade trace recorder and metrics
+	// registry to the report (excluded from JSON, so artifacts stay
+	// byte-identical with instrumentation on or off).
+	Instrument bool
+	// Cal, when non-nil, reuses a previously measured calibration (for
+	// policy comparisons over the identical service table).
+	Cal *Calibration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Blades <= 0 {
+		c.Blades = 3
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 64
+	}
+	if c.Rate <= 0 {
+		c.Rate = 2
+	}
+	if c.Burst < 1 {
+		c.Burst = 1
+	}
+	if c.Frame.W <= 0 || c.Frame.H <= 0 {
+		def := marvel.DefaultWorkload(1)
+		c.Frame.W, c.Frame.H = def.W, def.H
+		if c.Frame.Seed == 0 {
+			c.Frame.Seed = def.Seed
+		}
+	}
+	if c.MachineConfig == nil {
+		mc := cell.DefaultConfig()
+		mc.MemorySize = 64 << 20 // one blade's local share, not the default desktop 256 MB
+		c.MachineConfig = &mc
+	}
+	return c
+}
+
+// workload is the k-image workload for one dispatch at a geometry.
+func (c Config) workload(tall bool, k int) marvel.Workload {
+	h := c.Frame.H
+	if tall {
+		h *= 2
+	}
+	return marvel.Workload{Images: k, W: c.Frame.W, H: h, Seed: c.Frame.Seed}
+}
+
+// portedConfig assembles the simulation config for one dispatch
+// measurement. Fault plans are armed only on the dispatch points, not on
+// the estimator's clean single-SPE calibration run.
+func (c Config) portedConfig(scen marvel.Scenario, tall bool, k int, withFaults bool) marvel.PortedConfig {
+	pc := marvel.PortedConfig{
+		Workload:      c.workload(tall, k),
+		Scenario:      scen,
+		Variant:       c.Variant,
+		MachineConfig: c.MachineConfig,
+		Artifacts:     c.Artifacts,
+		Watchdog:      c.Watchdog,
+	}
+	if withFaults {
+		pc.Faults = c.Faults
+	}
+	return pc
+}
+
+// Run executes one serve run: calibrate (or reuse cfg.Cal), generate the
+// seeded arrival stream, and play the admission/dispatch event loop to
+// completion.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cal := cfg.Cal
+	if cal == nil {
+		var err error
+		if cal, err = Calibrate(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cal.perBlade <= 0 {
+		return nil, fmt.Errorf("serve: calibration produced a non-positive per-blade capacity")
+	}
+
+	offered := cfg.Rate * cal.perBlade * float64(cfg.Blades)
+	deadline := cfg.Deadline
+	if deadline == 0 {
+		best := cal.service(svcKey{Scheme: SchemeJob, Tall: false, K: cfg.MaxBatch})
+		if d := cal.service(svcKey{Scheme: SchemeData, Tall: false, K: cfg.MaxBatch}); d.Service < best.Service {
+			best = d
+		}
+		// Early requests land on cold blades and pay the one-time
+		// warmup before any service; without this term the automatic
+		// deadline is unreachable on workloads whose warmup dominates
+		// the per-batch service time.
+		deadline = best.Warmup + 6*best.Service
+	} else if deadline < 0 {
+		deadline = 0
+	}
+
+	reqs := arrivals(cfg.Seed, cfg.Requests, offered, cfg.Burst, cfg.TallFrac, deadline)
+	p := newPool(cfg, cal, deadline)
+	p.run(reqs)
+	return p.report(offered), nil
+}

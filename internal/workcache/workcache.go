@@ -25,6 +25,11 @@ type Cache[K comparable, V any] struct {
 	mu      sync.Mutex
 	entries map[K]*entry[V]
 
+	// hits and misses are counted at lookup admission, while mu is held:
+	// a waiter blocked on an in-flight entry has already been counted, so
+	// hits+misses always equals the number of Do calls that have passed
+	// admission, even while computations are still in flight and across
+	// Flush (which can otherwise orphan an old entry's waiters).
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
@@ -49,22 +54,28 @@ func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 		c.entries = make(map[K]*entry[V])
 	}
 	if e, ok := c.entries[key]; ok {
+		c.hits.Add(1)
 		c.mu.Unlock()
 		<-e.ready
-		c.hits.Add(1)
 		return e.val, e.err
 	}
 	e := &entry[V]{ready: make(chan struct{})}
 	c.entries[key] = e
-	c.mu.Unlock()
 	c.misses.Add(1)
+	c.mu.Unlock()
 
 	done := false
 	defer func() {
 		if !done { // compute panicked: unpoison the key, release waiters
 			e.err = errPanicked
 			c.mu.Lock()
-			delete(c.entries, key)
+			// Only drop the slot if it is still ours: a Flush during the
+			// in-flight compute may already have cleared it, and a newer
+			// requester may have installed a fresh entry under the same key
+			// that must not be torn down by the old computation.
+			if cur, ok := c.entries[key]; ok && cur == e {
+				delete(c.entries, key)
+			}
 			c.mu.Unlock()
 			close(e.ready)
 		}
@@ -82,15 +93,19 @@ func (c *Cache[K, V]) Len() int {
 	return len(c.entries)
 }
 
-// Stats reports completed lookups that found an entry (hits, including
-// waits on an in-flight computation) and lookups that computed (misses).
+// Stats reports lookups that found an entry (hits, including waits on an
+// in-flight computation) and lookups that computed (misses). Both are
+// counted when the lookup is admitted, not when it completes, so under
+// concurrency hits+misses always equals the number of admitted Do calls.
 func (c *Cache[K, V]) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
 // Flush drops every cached entry. In-flight computations still complete
-// for their waiters but are not retained. Intended for tests and cold-path
-// calibration; not for steady-state use.
+// for their already-admitted waiters (who receive the old value), while
+// requesters arriving after the Flush install fresh entries and
+// recompute. Intended for tests and cold-path calibration; not for
+// steady-state use.
 func (c *Cache[K, V]) Flush() {
 	c.mu.Lock()
 	c.entries = nil

@@ -2,6 +2,7 @@ package workcache
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -108,6 +109,119 @@ func TestFlushForcesRecompute(t *testing.T) {
 	c.Do(1, compute)
 	if calls != 2 {
 		t.Fatalf("compute ran %d times across a Flush, want 2", calls)
+	}
+}
+
+// TestStatsCountWaitersImmediately pins the accounting fix: a waiter
+// blocked on an in-flight computation is counted as a hit at lookup
+// admission, not when the computation finishes, so hits+misses never
+// transiently undercounts concurrent requests.
+func TestStatsCountWaitersImmediately(t *testing.T) {
+	var c Cache[int, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(1, func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+	}()
+	<-started
+
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do(1, func() (int, error) { t.Error("waiter recomputed"); return 0, nil })
+		}()
+	}
+	// Wait until all waiters report hits: with admission-time accounting
+	// this converges while the computation is still blocked, because each
+	// waiter is counted before it parks on the in-flight entry.
+	for {
+		hits, misses := c.Stats()
+		if misses != 1 {
+			t.Fatalf("misses = %d while one compute in flight, want 1", misses)
+		}
+		if hits == waiters {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if hits, misses := c.Stats(); hits != waiters || misses != 1 {
+		t.Fatalf("stats = %d/%d after release, want %d/1", hits, misses, waiters)
+	}
+}
+
+// TestFlushDuringInFlight pins the Flush semantics under concurrency: a
+// waiter admitted before the Flush still receives the old in-flight
+// value, a requester arriving after the Flush recomputes, and the
+// hit/miss counters stay consistent (every admitted lookup counted
+// exactly once, no orphaned counts on the flushed entry).
+func TestFlushDuringInFlight(t *testing.T) {
+	var c Cache[int, string]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	oldDone := make(chan string, 2)
+	go func() {
+		v, _ := c.Do(1, func() (string, error) {
+			close(started)
+			<-release
+			return "old", nil
+		})
+		oldDone <- v
+	}()
+	<-started
+
+	// A waiter admitted while the old computation is in flight.
+	go func() {
+		v, _ := c.Do(1, func() (string, error) { return "unexpected", nil })
+		oldDone <- v
+	}()
+	for {
+		if hits, _ := c.Stats(); hits == 1 {
+			break // the waiter is admitted (and counted)
+		}
+		runtime.Gosched()
+	}
+
+	c.Flush()
+
+	// A requester arriving after the Flush must install a fresh entry and
+	// recompute, even though the old computation has not finished yet.
+	newDone := make(chan string, 1)
+	go func() {
+		v, err := c.Do(1, func() (string, error) { return "new", nil })
+		if err != nil {
+			t.Error(err)
+		}
+		newDone <- v
+	}()
+	if v := <-newDone; v != "new" {
+		t.Fatalf("post-Flush requester got %q, want a recomputed value", v)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if v := <-oldDone; v != "old" {
+			t.Fatalf("pre-Flush caller got %q, want the old in-flight value", v)
+		}
+	}
+	// 4 admitted lookups: old computer (miss), old waiter (hit),
+	// post-Flush requester (miss), and the final consistency check below
+	// (hit on the fresh entry).
+	if v, err := c.Do(1, func() (string, error) { return "unexpected", nil }); err != nil || v != "new" {
+		t.Fatalf("steady-state lookup = %q, %v, want the recomputed value", v, err)
+	}
+	if hits, misses := c.Stats(); hits+misses != 4 || misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 2 hits / 2 misses", hits, misses)
 	}
 }
 
