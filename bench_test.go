@@ -9,12 +9,14 @@ package cellport_test
 //	go test -bench=BenchmarkTable1 -benchtime=1x
 
 import (
+	"sync"
 	"testing"
 
 	"cellport/internal/cell"
 	"cellport/internal/cost"
 	"cellport/internal/experiments"
 	"cellport/internal/marvel"
+	"cellport/internal/serve"
 )
 
 // benchCfg shares the experiment package's workload sizing (Quick frames
@@ -350,6 +352,71 @@ func BenchmarkScalingCC2(b *testing.B) { benchDataParallel(b, marvel.KCC, 2) }
 func BenchmarkScalingCC4(b *testing.B) { benchDataParallel(b, marvel.KCC, 4) }
 func BenchmarkScalingCC8(b *testing.B) { benchDataParallel(b, marvel.KCC, 8) }
 func BenchmarkScalingEH8(b *testing.B) { benchDataParallel(b, marvel.KEH, 8) }
+
+// --- sharded serving engine --------------------------------------------------
+
+// benchServeConfig is the sharded engine's acceptance scenario: a
+// 16-blade pool in verified-dispatch mode (every dispatch re-runs the
+// full machine simulation nested in its blade's wheel), bursty arrivals
+// so whole blade-fulls of work land on one barrier, and no deadlines so
+// nothing is shed. The only difference between the Seq and Sharded
+// benchmarks is the engine driving the blades; their reports are
+// byte-identical (TestShardedMatchesSequentialLoop and friends).
+func benchServeConfig() serve.Config {
+	return serve.Config{
+		Blades:       16,
+		MaxQueue:     8,
+		MaxBatch:     3,
+		Requests:     64,
+		Rate:         2,
+		Burst:        16,
+		TallFrac:     0,
+		Deadline:     -1,
+		Seed:         7,
+		Frame:        marvel.Workload{W: 352, H: 96, Seed: 13},
+		Variant:      marvel.Optimized,
+		FullFidelity: true,
+		Artifacts:    benchServeArts,
+	}
+}
+
+var benchServeArts = marvel.NewArtifactCache()
+
+// benchServeCal memoizes the calibration so the benchmarks time only the
+// serving run itself (calibration parallelism is already covered by the
+// Fig7 benchmarks).
+var benchServeCal = sync.OnceValues(func() (*serve.Calibration, error) {
+	return serve.Calibrate(benchServeConfig())
+})
+
+func benchServe(b *testing.B, seqsim bool) {
+	cal, err := benchServeCal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchServeConfig()
+	cfg.Cal = cal
+	cfg.SeqSim = seqsim
+	b.ResetTimer()
+	var rep *serve.Report
+	for i := 0; i < b.N; i++ {
+		if rep, err = serve.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Served), "served")
+}
+
+// BenchmarkServeSeq is the sequential reference loop with inline
+// verified dispatch — the single-core baseline.
+func BenchmarkServeSeq(b *testing.B) { benchServe(b, true) }
+
+// BenchmarkServeSharded is the same run on per-blade event wheels
+// (workers = GOMAXPROCS). On a multicore host the nested dispatch
+// simulations spread across the wheels; target is ≥2× over
+// BenchmarkServeSeq at GOMAXPROCS ≥ 4.
+func BenchmarkServeSharded(b *testing.B) { benchServe(b, false) }
 
 // --- substrate micro-benchmarks ---------------------------------------------
 

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseDoc = `{
+  "total_wall_ms": 100,
+  "experiments": {
+    "serve": {"wall_ms": 50, "data": {"estimator": {"served": 60, "late": 2}, "round_robin": {"served": 50}}},
+    "fig7": {"wall_ms": 40, "data": [{"n": 1, "speedup": 3.5}, {"n": 2, "speedup": 5.1}]}
+  }
+}`
+
+// TestBenchdiffMatrix is the comparison contract: identical data passes,
+// wall-clock noise passes, a big-and-slow run fails, data drift warns
+// (or fails under -strict) with per-path diffs, and the config section
+// never matters.
+func TestBenchdiffMatrix(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", baseDoc)
+
+	cases := []struct {
+		name    string
+		doc     string
+		args    []string
+		status  int
+		outWant []string
+	}{
+		{
+			"identical", baseDoc, nil, 0,
+			[]string{"benchdiff: OK"},
+		},
+		{
+			"config ignored",
+			strings.Replace(baseDoc, `"total_wall_ms": 100`, `"config": {"gomaxprocs": 64}, "total_wall_ms": 900`, 1),
+			nil, 0,
+			[]string{"benchdiff: OK"},
+		},
+		{
+			"wall noise under floor",
+			strings.Replace(baseDoc, `"wall_ms": 50`, `"wall_ms": 140`, 1),
+			nil, 0,
+			[]string{"benchdiff: OK"},
+		},
+		{
+			"wall regression",
+			strings.Replace(baseDoc, `"wall_ms": 50`, `"wall_ms": 250`, 1),
+			nil, 1,
+			[]string{"WALL serve: 50.0 ms -> 250.0 ms", "FAIL"},
+		},
+		{
+			"wall regression under custom factor",
+			strings.Replace(baseDoc, `"wall_ms": 50`, `"wall_ms": 250`, 1),
+			[]string{"-factor", "10"}, 0,
+			[]string{"benchdiff: OK"},
+		},
+		{
+			"data drift warns",
+			strings.Replace(baseDoc, `"served": 60`, `"served": 59`, 1),
+			nil, 0,
+			[]string{"DATA serve.estimator.served: 60 != 59", "bench-refresh"},
+		},
+		{
+			"data drift strict",
+			strings.Replace(baseDoc, `"served": 60`, `"served": 59`, 1),
+			[]string{"-strict"}, 1,
+			[]string{"DATA serve.estimator.served: 60 != 59"},
+		},
+		{
+			"array drift",
+			strings.Replace(baseDoc, `"speedup": 5.1`, `"speedup": 4.9`, 1),
+			nil, 0,
+			[]string{"DATA fig7[1].speedup: 5.1 != 4.9"},
+		},
+		{
+			"missing experiment",
+			strings.Replace(baseDoc, `"fig7"`, `"fig8"`, 1),
+			nil, 0,
+			[]string{"DATA fig7: only in", "DATA fig8: only in"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := write(t, dir, "fresh.json", tc.doc)
+			var out, errw bytes.Buffer
+			args := append(append([]string{}, tc.args...), base, fresh)
+			if status := run(args, &out, &errw); status != tc.status {
+				t.Fatalf("status %d, want %d\nout: %s\nerr: %s", status, tc.status, out.String(), errw.String())
+			}
+			for _, want := range tc.outWant {
+				if !strings.Contains(out.String(), want) {
+					t.Fatalf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestBenchdiffUsage pins the argument contract.
+func TestBenchdiffUsage(t *testing.T) {
+	var out, errw bytes.Buffer
+	if status := run([]string{"one.json"}, &out, &errw); status != 2 {
+		t.Fatalf("status %d, want 2", status)
+	}
+	if !strings.Contains(errw.String(), "usage: benchdiff") {
+		t.Fatalf("stderr missing usage: %s", errw.String())
+	}
+	if status := run([]string{"missing-a.json", "missing-b.json"}, &out, &errw); status != 2 {
+		t.Fatalf("missing files: status %d, want 2", status)
+	}
+}

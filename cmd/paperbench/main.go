@@ -25,6 +25,16 @@
 //	paperbench -deadline 250     # serve: per-request deadline, virtual ms (<0 = none)
 //	paperbench -servesed 7       # serve: arrival-stream seed
 //	paperbench -burst 3          # serve: mean arrival burst size
+//	paperbench -shards 8         # serve: workers driving the per-blade event
+//	                             # wheels (0 = GOMAXPROCS; never affects results)
+//	paperbench -seqsim           # serve: sequential reference loop instead of
+//	                             # the sharded wheels (determinism oracle)
+//	paperbench -fullsim          # serve: re-simulate the machine behind every
+//	                             # dispatch and fail on calibration divergence
+//	paperbench -cpuprofile F     # write a pprof CPU profile of the run
+//	paperbench -memprofile F     # write a pprof allocation profile of the run
+//	paperbench -bench-refresh    # regenerate the committed bench/ baselines
+//	paperbench -bench-dir D      # target directory for -bench-refresh
 //
 // Independent simulation runs fan out over -parallel workers (default:
 // GOMAXPROCS); virtual-time results are identical at any setting. The
@@ -41,12 +51,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"cellport/internal/atomicfile"
@@ -88,6 +102,13 @@ type options struct {
 	deadline    float64
 	serveSeed   uint64
 	burst       float64
+	shards      int
+	seqSim      bool
+	fullSim     bool
+	cpuProfile  string
+	memProfile  string
+	benchFresh  bool
+	benchDir    string
 
 	set map[string]bool // flags explicitly given on the command line
 }
@@ -113,6 +134,13 @@ func parseFlags(args []string, errw io.Writer) (*options, int) {
 	fs.Float64Var(&o.deadline, "deadline", 0, "serve: per-request deadline in virtual ms (0 = automatic, negative = none)")
 	fs.Uint64Var(&o.serveSeed, "servesed", 0, "serve: arrival-stream seed (default 7)")
 	fs.Float64Var(&o.burst, "burst", 0, "serve: mean arrival burst size (default 2)")
+	fs.IntVar(&o.shards, "shards", 0, "serve: workers driving the per-blade event wheels (0 = GOMAXPROCS; never affects results)")
+	fs.BoolVar(&o.seqSim, "seqsim", false, "serve: run the sequential reference event loop instead of the sharded wheels")
+	fs.BoolVar(&o.fullSim, "fullsim", false, "serve: re-simulate the full machine behind every dispatch (verified dispatch)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocation profile of the run to this path")
+	fs.BoolVar(&o.benchFresh, "bench-refresh", false, "regenerate the committed benchmark baselines (BENCH_serve.json, BENCH_sweep.json)")
+	fs.StringVar(&o.benchDir, "bench-dir", "bench", "target directory for -bench-refresh")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil, 0
@@ -158,12 +186,38 @@ func (o *options) validate() string {
 			return fmt.Sprintf("-%s only applies to -exp faults or -exp serve, not -exp %s", f, o.exp)
 		}
 	}
-	for _, f := range []string{"rate", "blades", "deadline", "servesed", "burst"} {
+	for _, f := range []string{"rate", "blades", "deadline", "servesed", "burst", "shards", "seqsim", "fullsim"} {
 		if o.set[f] && !expSelects("serve") {
 			return fmt.Sprintf("-%s only applies to -exp serve, not -exp %s", f, o.exp)
 		}
 	}
+	if o.shards < 0 {
+		return fmt.Sprintf("-shards must be >= 0, got %d", o.shards)
+	}
+	if o.benchFresh {
+		// The refresh runs a fixed invocation matrix; per-run flags would
+		// silently not apply to it.
+		for _, f := range []string{"exp", "json", "cpuprofile", "memprofile", "trace", "metrics"} {
+			if o.set[f] {
+				return fmt.Sprintf("-bench-refresh runs a fixed invocation set and is incompatible with -%s", f)
+			}
+		}
+	}
+	if o.set["bench-dir"] && !o.benchFresh {
+		return "-bench-dir only applies with -bench-refresh"
+	}
 	return ""
+}
+
+// benchRefreshArgs lists the committed-baseline invocations. They match
+// the CI smoke jobs argument-for-argument, so a local -bench-refresh and
+// the CI artifact describe the same runs.
+func benchRefreshArgs(dir string) [][]string {
+	return [][]string{
+		{"-quick", "-exp", "serve", "-blades", "3", "-rate", "2", "-servesed", "7",
+			"-json", filepath.Join(dir, "BENCH_serve.json")},
+		{"-quick", "-exp", "fig7", "-json", filepath.Join(dir, "BENCH_sweep.json")},
+	}
 }
 
 func run(args []string, out, errw io.Writer) int {
@@ -177,6 +231,53 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 
+	if o.benchFresh {
+		if err := os.MkdirAll(o.benchDir, 0o755); err != nil {
+			fmt.Fprintf(errw, "paperbench: %v\n", err)
+			return 1
+		}
+		for _, sub := range benchRefreshArgs(o.benchDir) {
+			fmt.Fprintf(out, "paperbench: refresh %s\n", strings.Join(sub, " "))
+			if code := run(sub, out, errw); code != 0 {
+				return code
+			}
+		}
+		return 0
+	}
+
+	// The CPU profile streams into memory while the experiments run and is
+	// committed atomically afterwards, like every other artifact.
+	var cpuBuf bytes.Buffer
+	if o.cpuProfile != "" {
+		if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+			fmt.Fprintf(errw, "paperbench: %v\n", err)
+			return 1
+		}
+	}
+	code := runExperiments(o, out, errw)
+	if o.cpuProfile != "" {
+		pprof.StopCPUProfile()
+		if err := atomicfile.WriteFile(o.cpuProfile, func(w io.Writer) error {
+			_, err := w.Write(cpuBuf.Bytes())
+			return err
+		}); err != nil {
+			fmt.Fprintf(errw, "paperbench: %v\n", err)
+			return 1
+		}
+	}
+	if o.memProfile != "" {
+		runtime.GC() // settle the heap so the allocs profile is complete
+		if err := atomicfile.WriteFile(o.memProfile, func(w io.Writer) error {
+			return pprof.Lookup("allocs").WriteTo(w, 0)
+		}); err != nil {
+			fmt.Fprintf(errw, "paperbench: %v\n", err)
+			return 1
+		}
+	}
+	return code
+}
+
+func runExperiments(o *options, out, errw io.Writer) int {
 	cfg := experiments.Config{Quick: o.quick, Seed: o.seed, Parallel: o.parallel, NoCache: o.nocache,
 		FaultSpec: o.faultSpec, FaultSeed: o.faultSeed,
 		Serve: experiments.ServeConfig{
@@ -185,7 +286,11 @@ func run(args []string, out, errw io.Writer) int {
 			Burst:      o.burst,
 			DeadlineMS: o.deadline,
 			Seed:       o.serveSeed,
-		}}
+		},
+		Shards:  o.shards,
+		SeqSim:  o.seqSim,
+		FullSim: o.fullSim,
+	}
 	if o.tracePath != "" || o.metricsPath != "" {
 		cfg.Collect = &experiments.Collector{}
 	}

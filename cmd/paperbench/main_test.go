@@ -29,10 +29,22 @@ func TestFlagValidationMatrix(t *testing.T) {
 		{"deadline with wrong exp", []string{"-exp", "profile", "-deadline", "100"}, 2, "-deadline only applies"},
 		{"servesed with wrong exp", []string{"-exp", "hosts", "-servesed", "9"}, 2, "-servesed only applies"},
 		{"burst with wrong exp", []string{"-exp", "overhead", "-burst", "3"}, 2, "-burst only applies"},
+		{"shards with wrong exp", []string{"-exp", "fig7", "-shards", "4"}, 2, "-shards only applies"},
+		{"seqsim with wrong exp", []string{"-exp", "table1", "-seqsim"}, 2, "-seqsim only applies"},
+		{"fullsim with wrong exp", []string{"-exp", "eqns", "-fullsim"}, 2, "-fullsim only applies"},
+		{"negative shards", []string{"-exp", "serve", "-shards", "-1"}, 2, "-shards must be >= 0"},
+		{"bench-refresh with exp", []string{"-bench-refresh", "-exp", "serve"}, 2, "incompatible with -exp"},
+		{"bench-refresh with json", []string{"-bench-refresh", "-json", "x.json"}, 2, "incompatible with -json"},
+		{"bench-refresh with profile", []string{"-bench-refresh", "-cpuprofile", "cpu.pb"}, 2, "incompatible with -cpuprofile"},
+		{"bench-dir without refresh", []string{"-bench-dir", "bench"}, 2, "-bench-dir only applies"},
 		{"faults flag with faults exp", []string{"-exp", "faults", "-faults", "crash:spe=0,at=5ms"}, -1, ""},
 		{"faults flag with serve exp", []string{"-exp", "serve", "-faultseed", "3"}, -1, ""},
 		{"serve flags with serve exp", []string{"-exp", "serve", "-rate", "2", "-blades", "2", "-deadline", "-1", "-servesed", "9", "-burst", "1"}, -1, ""},
+		{"shard flags with serve exp", []string{"-exp", "serve", "-shards", "8", "-fullsim"}, -1, ""},
+		{"seqsim with serve exp", []string{"-exp", "serve", "-seqsim"}, -1, ""},
 		{"serve flags with all", []string{"-rate", "2"}, -1, ""},
+		{"bench-refresh alone", []string{"-bench-refresh", "-bench-dir", "fresh"}, -1, ""},
+		{"profiles with any exp", []string{"-exp", "eqns", "-cpuprofile", "cpu.pb", "-memprofile", "mem.pb"}, -1, ""},
 		{"plain quick eqns", []string{"-quick", "-exp", "eqns"}, -1, ""},
 	}
 	for _, tc := range cases {
@@ -131,4 +143,96 @@ func readFileT(t *testing.T, path string) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// experimentData decodes a sidecar and returns each experiment's data
+// section (wall times stripped), for comparing runs that must agree on
+// results but not on host timing.
+func experimentData(t *testing.T, raw []byte) map[string]json.RawMessage {
+	t.Helper()
+	var doc struct {
+		Experiments map[string]struct {
+			Data json.RawMessage `json:"data"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("sidecar did not parse: %v", err)
+	}
+	out := map[string]json.RawMessage{}
+	for name, e := range doc.Experiments {
+		out[name] = e.Data
+	}
+	return out
+}
+
+// TestRunShardedMatchesSeqSimCLI checks the flag plumbing end to end: the
+// sharded default, an explicit -shards 8, and the -seqsim reference loop
+// must produce identical experiment data through the CLI.
+func TestRunShardedMatchesSeqSimCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full serve calibration")
+	}
+	dir := t.TempDir()
+	invoke := func(name string, extra ...string) map[string]json.RawMessage {
+		jsonPath := filepath.Join(dir, name+".json")
+		args := append([]string{"-quick", "-exp", "serve", "-rate", "2", "-blades", "2", "-servesed", "7",
+			"-json", jsonPath}, extra...)
+		var out, errw bytes.Buffer
+		if status := run(args, &out, &errw); status != 0 {
+			t.Fatalf("%s: status %d, stderr: %s", name, status, errw.String())
+		}
+		return experimentData(t, readFileT(t, jsonPath))
+	}
+	seq := invoke("seq", "-seqsim")
+	for _, v := range []struct {
+		name  string
+		extra []string
+	}{{"default", nil}, {"shards8", []string{"-shards", "8"}}} {
+		got := invoke(v.name, v.extra...)
+		if string(got["serve"]) != string(seq["serve"]) {
+			t.Fatalf("%s diverged from -seqsim:\n got %s\nwant %s", v.name, got["serve"], seq["serve"])
+		}
+	}
+}
+
+// TestRunProfilesWritten checks -cpuprofile/-memprofile produce non-empty
+// pprof artifacts without perturbing the run's exit status.
+func TestRunProfilesWritten(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	var out, errw bytes.Buffer
+	args := []string{"-quick", "-exp", "eqns", "-cpuprofile", cpu, "-memprofile", mem}
+	if status := run(args, &out, &errw); status != 0 {
+		t.Fatalf("status %d, stderr: %s", status, errw.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if b := readFileT(t, p); len(b) == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunBenchRefresh checks -bench-refresh regenerates both committed
+// baselines into the requested directory with the expected experiments.
+func TestRunBenchRefresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full baseline matrix")
+	}
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	if status := run([]string{"-bench-refresh", "-bench-dir", dir}, &out, &errw); status != 0 {
+		t.Fatalf("status %d, stderr: %s", status, errw.String())
+	}
+	serveData := experimentData(t, readFileT(t, filepath.Join(dir, "BENCH_serve.json")))
+	if _, ok := serveData["serve"]; !ok {
+		t.Fatalf("BENCH_serve.json missing serve experiment: %v", serveData)
+	}
+	sweepData := experimentData(t, readFileT(t, filepath.Join(dir, "BENCH_sweep.json")))
+	if _, ok := sweepData["fig7"]; !ok {
+		t.Fatalf("BENCH_sweep.json missing fig7 experiment: %v", sweepData)
+	}
 }

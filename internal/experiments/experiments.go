@@ -46,6 +46,16 @@ type Config struct {
 	Collect *Collector
 	// Serve sizes the serving-layer experiment (-exp serve).
 	Serve ServeConfig
+	// Shards bounds the workers driving the serve experiment's per-blade
+	// event wheels (0 = GOMAXPROCS). Never affects results.
+	Shards int
+	// SeqSim runs the serve experiment on the sequential reference loop
+	// instead of the sharded wheels (the determinism oracle).
+	SeqSim bool
+	// FullSim re-runs the full machine simulation behind every serve
+	// dispatch and fails on any divergence from the calibration table
+	// (serve.Config.FullFidelity).
+	FullSim bool
 }
 
 // artifacts resolves the cache for this configuration's runs: an explicit

@@ -62,6 +62,9 @@ func (c Config) serveBase() (serve.Config, error) {
 		Variant:       marvel.Optimized,
 		MachineConfig: MachineConfig(),
 		Parallel:      c.workers(),
+		Shards:        c.Shards,
+		SeqSim:        c.SeqSim,
+		FullFidelity:  c.FullSim,
 		Instrument:    c.Collect != nil,
 	}
 	if c.Quick {

@@ -1,0 +1,134 @@
+package marvel
+
+import (
+	"reflect"
+	"testing"
+
+	"cellport/internal/fault"
+	"cellport/internal/sim"
+)
+
+// shardedGrid is the Fig7-style scenario grid plus a seeded-fault
+// supervised run: the configurations whose results must be reproduced
+// byte-for-byte when each run is hosted on its own wheel of a
+// ShardedEngine instead of a private sequential engine.
+func shardedGrid() []PortedConfig {
+	arts := NewArtifactCache()
+	var grid []PortedConfig
+	for _, scen := range []Scenario{SingleSPE, MultiSPE, MultiSPE2} {
+		for _, n := range []int{1, 2} {
+			grid = append(grid, PortedConfig{
+				Workload:      testWorkload(n),
+				Scenario:      scen,
+				Variant:       Optimized,
+				Validate:      true,
+				MachineConfig: testMachineConfig(),
+				Artifacts:     arts,
+			})
+		}
+	}
+	faulted := PortedConfig{
+		Workload:      testWorkload(2),
+		Scenario:      MultiSPE,
+		Variant:       Optimized,
+		Validate:      true,
+		MachineConfig: testMachineConfig(),
+		Artifacts:     arts,
+		Faults:        fault.Seeded(7, testMachineConfig().NumSPEs),
+	}
+	return append(grid, faulted)
+}
+
+// runGridSharded hosts every grid entry on its own wheel of one
+// ShardedEngine, drains them with the given worker count, and harvests
+// each result.
+func runGridSharded(t *testing.T, grid []PortedConfig, workers int) []*PortedResult {
+	t.Helper()
+	sh := sim.NewSharded(len(grid), workers)
+	runs := make([]*PortedRun, len(grid))
+	for i, cfg := range grid {
+		mcfg := *cfg.MachineConfig
+		mcfg.Engine = sh.Wheel(i)
+		cfg.MachineConfig = &mcfg
+		r, err := StartPorted(cfg)
+		if err != nil {
+			t.Fatalf("StartPorted(%v): %v", cfg.Scenario, err)
+		}
+		runs[i] = r
+	}
+	if err := sh.Drain(); err != nil {
+		t.Fatalf("Drain (workers=%d): %v", workers, err)
+	}
+	results := make([]*PortedResult, len(grid))
+	for i, r := range runs {
+		res, err := r.Finish(nil)
+		if err != nil {
+			t.Fatalf("Finish(%v): %v", grid[i].Scenario, err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// TestShardedGridMatchesSequential is the marvel-level determinism
+// invariant for the sharded engine: the full scenario grid — including a
+// supervised run with seeded faults — produces deep-equal results
+// (outputs, virtual times, fault reports, EventCount fingerprints) whether
+// each run owns a private sequential engine or shares a ShardedEngine at
+// any worker count.
+func TestShardedGridMatchesSequential(t *testing.T) {
+	grid := shardedGrid()
+	seq := make([]*PortedResult, len(grid))
+	for i, cfg := range grid {
+		seq[i] = mustRun(t, cfg)
+	}
+	for _, workers := range []int{1, 4} {
+		got := runGridSharded(t, grid, workers)
+		for i := range grid {
+			if got[i].EventCount != seq[i].EventCount {
+				t.Errorf("workers=%d %v/n=%d: EventCount %d != sequential %d",
+					workers, grid[i].Scenario, grid[i].Workload.Images,
+					got[i].EventCount, seq[i].EventCount)
+			}
+			if !reflect.DeepEqual(got[i], seq[i]) {
+				t.Errorf("workers=%d %v/n=%d: sharded result diverged from sequential",
+					workers, grid[i].Scenario, grid[i].Workload.Images)
+			}
+		}
+	}
+}
+
+// TestStartPortedFinishMatchesRunPorted pins the partition refactor: for a
+// single run, StartPorted + Engine().Run() + Finish is byte-identical to
+// the one-shot RunPorted — same totals, kernels, outputs, fingerprint.
+func TestStartPortedFinishMatchesRunPorted(t *testing.T) {
+	cfg := PortedConfig{
+		Workload:      testWorkload(2),
+		Scenario:      MultiSPE2,
+		Variant:       Optimized,
+		Validate:      true,
+		MachineConfig: testMachineConfig(),
+		NoCache:       true,
+	}
+	want := mustRun(t, cfg)
+	r, err := StartPorted(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Finish(r.Engine().Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("partitioned run diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStartPortedRejectsEmptyWorkload keeps the validation contract on the
+// partitioned entry point.
+func TestStartPortedRejectsEmptyWorkload(t *testing.T) {
+	_, err := StartPorted(PortedConfig{Scenario: SingleSPE})
+	if err == nil {
+		t.Fatal("expected ErrEmptyWorkload")
+	}
+}

@@ -4,19 +4,31 @@ import (
 	"fmt"
 	"sort"
 
+	"cellport/internal/marvel"
 	"cellport/internal/sim"
 	"cellport/internal/trace"
 )
 
-// blade is one serving Cell blade: a bounded admission queue plus the
-// in-flight dispatch, if any. The blade's machine itself is not held
-// here — dispatch timing comes from the calibrated service table, which
-// was measured on a machine identical to the one this blade models.
+// blade is one serving Cell blade: a bounded admission queue, the
+// in-flight dispatch (if any), and the blade-local slice of the run's
+// accounting. The blade's machine itself is not held here — dispatch
+// timing comes from the calibrated service table, which was measured on
+// a machine identical to the one this blade models (FullFidelity re-runs
+// that machine per dispatch to prove it).
+//
+// All mutable state below the wheel field is owned by the blade: in a
+// sharded run it is touched only by events on this blade's wheel, or by
+// the coordinator while every wheel is quiescent at an epoch barrier.
+// That ownership is what lets the wheels run concurrently without locks,
+// and the blade-index merge in report() is what keeps the result
+// byte-identical to the sequential loop.
 type blade struct {
-	id   int
-	lane string
+	id    int
+	lane  string
+	wheel *sim.Engine // this blade's event wheel (nil in the sequential loop)
 
 	queue []Request
+	spare []Request // recycled batch buffer (capacity MaxBatch, reused across dispatches)
 	busy  bool
 	warm  bool
 	start sim.Time // current dispatch start (batch work, after any warmup)
@@ -29,6 +41,20 @@ type blade struct {
 	busyTime   sim.Duration
 	warmupTime sim.Duration
 
+	// Blade-local run accounting, merged in blade-index order by report().
+	served          int
+	late            int
+	degraded        int
+	shedExpired     int
+	batches         int
+	batchRequests   int
+	schemeFallbacks int
+	schemeBatches   [numSchemes]int
+	latencies       []sim.Duration
+	lastDone        sim.Time
+
+	verifyErr error // first FullFidelity divergence on this blade
+
 	tr  trace.Tracer
 	rec *trace.Recorder
 }
@@ -36,7 +62,13 @@ type blade struct {
 // pool is the deterministic serving event loop: a virtual clock advanced
 // strictly by arrival and completion events. Completions at a timestamp
 // are processed before arrivals at the same timestamp; simultaneous
-// completions resolve by blade index.
+// completions resolve by blade index (trivially in the sequential loop,
+// and by construction in the sharded run, where same-timestamp
+// completions on different wheels touch only disjoint blade state).
+//
+// Admission state (rr, shedRejected, placement fallbacks, the placeOrder
+// scratch buffers) belongs to the coordinator alone: it is only touched
+// while the wheels are quiescent.
 type pool struct {
 	cfg      Config
 	cal      *Calibration
@@ -44,24 +76,33 @@ type pool struct {
 	blades   []*blade
 	rr       int
 	now      sim.Time
+	sharded  bool
 
-	served        int
-	late          int
-	degraded      int
-	shedRejected  int
-	shedExpired   int
-	batches       int
-	batchRequests int
-	fallbacks     int
-	schemeBatches map[string]int
-	latencies     []sim.Duration
-	lastDone      sim.Time
+	shedRejected   int
+	placeFallbacks int
+
+	// placeOrder scratch, hoisted out of the admission hot path.
+	ordBuf   []*blade
+	scoreBuf []sim.Duration
+	idxBuf   []int
 }
 
 func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
-	p := &pool{cfg: cfg, cal: cal, deadline: deadline, schemeBatches: map[string]int{}}
+	p := &pool{
+		cfg:      cfg,
+		cal:      cal,
+		deadline: deadline,
+		ordBuf:   make([]*blade, cfg.Blades),
+		scoreBuf: make([]sim.Duration, cfg.Blades),
+		idxBuf:   make([]int, cfg.Blades),
+	}
 	for i := 0; i < cfg.Blades; i++ {
-		b := &blade{id: i, lane: fmt.Sprintf("blade%d", i), tr: trace.Nop{}}
+		b := &blade{
+			id:    i,
+			lane:  fmt.Sprintf("blade%d", i),
+			spare: make([]Request, 0, cfg.MaxBatch),
+			tr:    trace.Nop{},
+		}
 		if cfg.Instrument {
 			b.rec = trace.NewRecorder()
 			b.tr = b.rec
@@ -71,8 +112,9 @@ func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
 	return p
 }
 
-// run plays the event loop over the arrival stream until every admitted
-// request has completed or been shed.
+// run plays the sequential event loop over the arrival stream until every
+// admitted request has completed or been shed. It is the reference
+// semantics the sharded run must reproduce byte-for-byte.
 func (p *pool) run(reqs []Request) {
 	ai := 0
 	for {
@@ -97,6 +139,38 @@ func (p *pool) run(reqs []Request) {
 			ai++
 		}
 	}
+}
+
+// runSharded plays the identical semantics on one event wheel per blade:
+// each distinct arrival timestamp is an epoch barrier. Between barriers
+// the wheels advance concurrently — completion-triggered redispatch
+// chains stay on the completing blade's wheel — and at each barrier the
+// coordinator admits that instant's arrivals alone, in stream order,
+// exactly as the sequential loop would. RunUntil is inclusive of the
+// barrier time, so completions at an arrival's timestamp still precede
+// the admission, matching the sequential loop's tie-break.
+func (p *pool) runSharded(reqs []Request, workers int) error {
+	sh := sim.NewSharded(len(p.blades), workers)
+	for i, b := range p.blades {
+		b.wheel = sh.Wheel(i)
+	}
+	p.sharded = true
+	ai := 0
+	return sh.Run(
+		func() (sim.Time, bool) {
+			if ai >= len(reqs) {
+				return 0, false
+			}
+			return reqs[ai].Arrival, true
+		},
+		func(t sim.Time) {
+			p.now = t
+			for ai < len(reqs) && reqs[ai].Arrival == t {
+				p.admit(reqs[ai])
+				ai++
+			}
+		},
+	)
 }
 
 // earliestBusy returns the busy blade finishing first (lowest index on
@@ -126,13 +200,14 @@ func (p *pool) estOne(r Request) sim.Duration {
 // orders by earliest estimated finish (remaining in-flight work plus the
 // estimated backlog of queued requests); the round-robin policy — and
 // the estimator when its scores cannot separate the blades — uses plain
-// rotation.
+// rotation. The returned slice is pool scratch, valid until the next
+// call (coordinator-only).
 func (p *pool) placeOrder(r Request) []*blade {
 	n := len(p.blades)
+	out := p.ordBuf[:n]
 	rot := func() []*blade {
-		out := make([]*blade, 0, n)
 		for i := 0; i < n; i++ {
-			out = append(out, p.blades[(p.rr+i)%n])
+			out[i] = p.blades[(p.rr+i)%n]
 		}
 		p.rr = (p.rr + 1) % n
 		return out
@@ -140,7 +215,7 @@ func (p *pool) placeOrder(r Request) []*blade {
 	if p.cfg.Policy == PolicyRoundRobin || !p.cal.Conclusive() {
 		return rot()
 	}
-	scores := make([]sim.Duration, n)
+	scores := p.scoreBuf[:n]
 	for i, b := range p.blades {
 		var s sim.Duration
 		if b.busy {
@@ -166,15 +241,14 @@ func (p *pool) placeOrder(r Request) []*blade {
 	if min == max {
 		// All blades look identical to the estimator: inconclusive, so
 		// rotate to avoid piling onto blade 0.
-		p.fallbacks++
+		p.placeFallbacks++
 		return rot()
 	}
-	idx := make([]int, n)
+	idx := p.idxBuf[:n]
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
-	out := make([]*blade, n)
 	for i, j := range idx {
 		out[i] = p.blades[j]
 	}
@@ -184,13 +258,16 @@ func (p *pool) placeOrder(r Request) []*blade {
 // admit places one arrival on the first blade in policy preference order
 // with queue room, dispatching immediately if that blade is idle.
 // Arrivals finding every candidate queue full are shed (backpressure).
+// Admission always runs on the coordinator: in the sharded run the
+// wheels are quiescent at the barrier, so the synchronous dispatch here
+// observes exactly the state the sequential loop would.
 func (p *pool) admit(r Request) {
 	order := p.placeOrder(r)
 	for _, b := range order {
 		if len(b.queue) < p.cfg.MaxQueue {
 			b.queue = append(b.queue, r)
 			if !b.busy {
-				p.dispatch(b)
+				p.dispatch(b, p.now)
 			}
 			return
 		}
@@ -202,15 +279,18 @@ func (p *pool) admit(r Request) {
 
 // dispatch sheds queued requests that can no longer meet their deadline,
 // coalesces the head-compatible requests into one batch, picks the
-// scheduling scheme, and starts the dispatch on b.
-func (p *pool) dispatch(b *blade) {
+// scheduling scheme, and starts the dispatch on b at virtual time now.
+// It runs either on the coordinator (admission to an idle blade) or on
+// b's own wheel (completion-triggered redispatch), so it must only touch
+// b and immutable pool state.
+func (p *pool) dispatch(b *blade, now sim.Time) {
 	// A request that cannot finish by its deadline even if dispatched
 	// alone right now is hopeless: shed it instead of wasting a blade.
 	keep := b.queue[:0]
 	for _, r := range b.queue {
-		if r.Deadline != sim.Never && p.now.Add(p.estOne(r)) > r.Deadline {
-			p.shedExpired++
-			trace.RecordInstant(b.tr, b.lane, p.now, fmt.Sprintf("shed-expired req %d", r.ID))
+		if r.Deadline != sim.Never && now.Add(p.estOne(r)) > r.Deadline {
+			b.shedExpired++
+			trace.RecordInstant(b.tr, b.lane, now, fmt.Sprintf("shed-expired req %d", r.ID))
 			continue
 		}
 		keep = append(keep, r)
@@ -221,9 +301,11 @@ func (p *pool) dispatch(b *blade) {
 	}
 
 	// Coalesce: the head request plus every same-geometry request behind
-	// it, in arrival order, up to the batch bound.
+	// it, in arrival order, up to the batch bound. The batch buffer is
+	// the blade's recycled spare (capacity MaxBatch), so steady-state
+	// dispatch allocates nothing.
 	tall := b.queue[0].Tall
-	batch := make([]Request, 0, p.cfg.MaxBatch)
+	batch := b.spare[:0]
 	rest := b.queue[:0]
 	for _, r := range b.queue {
 		if r.Tall == tall && len(batch) < p.cfg.MaxBatch {
@@ -239,12 +321,12 @@ func (p *pool) dispatch(b *blade) {
 		if s, _, ok := p.cal.estBest(tall, len(batch)); ok {
 			scheme = s
 		} else {
-			p.fallbacks++ // estimate can't separate the schemes: job-distribution default
+			b.schemeFallbacks++ // estimate can't separate the schemes: job-distribution default
 		}
 	}
 
 	s := p.cal.service(svcKey{Scheme: scheme, Tall: tall, K: len(batch)})
-	start := p.now
+	start := now
 	if !b.warm {
 		b.warm = true
 		b.warmupTime = s.Warmup
@@ -257,37 +339,95 @@ func (p *pool) dispatch(b *blade) {
 	b.cur = batch
 	b.deg = s.Degraded
 	b.dispatches++
-	p.batches++
-	p.batchRequests += len(batch)
-	p.schemeBatches[scheme.String()]++
+	b.batches++
+	b.batchRequests += len(batch)
+	b.schemeBatches[scheme]++
 	geom := ""
 	if tall {
 		geom = " tall"
 	}
 	b.tr.Span(b.lane, start, b.done, trace.KindCompute,
 		fmt.Sprintf("batch#%d ×%d %s%s", b.dispatches, len(batch), scheme, geom))
+
+	if p.cfg.FullFidelity {
+		k := len(batch)
+		if b.wheel != nil {
+			// Scheduled before the completion event at the same instant,
+			// so the wheel's FIFO lane runs the verification first — and,
+			// crucially, inside the wheel's goroutine, which is where the
+			// sharded run's real parallel work comes from.
+			b.wheel.At(b.done, func() { p.verifyDispatch(b, scheme, tall, k) })
+		} else {
+			p.verifyDispatch(b, scheme, tall, k)
+		}
+	}
+	if b.wheel != nil {
+		b.wheel.At(b.done, func() { p.complete(b) })
+	}
+}
+
+// verifyDispatch re-runs the full machine simulation behind one dispatch
+// and cross-checks it against the calibration table entry the event loop
+// charged. The nested run is a pure function of its config, so any
+// divergence means the table no longer describes the machine. Only the
+// first divergence per blade is kept.
+func (p *pool) verifyDispatch(b *blade, scheme Scheme, tall bool, k int) {
+	if b.verifyErr != nil {
+		return
+	}
+	res, err := marvel.RunPorted(p.cfg.portedConfig(scheme.scenario(), tall, k, true))
+	if err != nil {
+		b.verifyErr = fmt.Errorf("serve: blade %d: full-fidelity dispatch %s/tall=%v/k=%d: %w",
+			b.id, scheme, tall, k, err)
+		return
+	}
+	got := svc{Service: res.Total - res.OneTime, Warmup: res.OneTime}
+	if rep := res.Faults; rep != nil {
+		got.Degraded = rep.Retries > 0 || rep.Redispatches > 0 || rep.Fallbacks > 0
+		got.DegTime = rep.DegradedTime
+	}
+	want := p.cal.service(svcKey{Scheme: scheme, Tall: tall, K: k})
+	if got != want {
+		b.verifyErr = fmt.Errorf("serve: blade %d: full-fidelity dispatch %s/tall=%v/k=%d diverged from calibration: got %+v want %+v",
+			b.id, scheme, tall, k, got, want)
+	}
+}
+
+// firstVerifyErr returns the lowest-blade-index FullFidelity divergence,
+// if any — a deterministic pick regardless of wheel scheduling.
+func (p *pool) firstVerifyErr() error {
+	for _, b := range p.blades {
+		if b.verifyErr != nil {
+			return b.verifyErr
+		}
+	}
+	return nil
 }
 
 // complete retires b's in-flight batch, accounts per-request latency and
-// deadline outcomes, and immediately redispatches if work is queued.
+// deadline outcomes on the blade, and immediately redispatches if work
+// is queued. In the sharded run it fires as an event on b's wheel, so it
+// derives its own time from the dispatch record rather than the
+// coordinator clock.
 func (p *pool) complete(b *blade) {
 	t := b.done
 	for _, r := range b.cur {
-		p.served++
-		p.latencies = append(p.latencies, t.Sub(r.Arrival))
+		b.served++
+		b.latencies = append(b.latencies, t.Sub(r.Arrival))
 		if r.Deadline != sim.Never && t > r.Deadline {
-			p.late++
+			b.late++
 		}
 		if b.deg {
-			p.degraded++
+			b.degraded++
 		}
 	}
 	b.requests += len(b.cur)
 	b.busyTime += t.Sub(b.start)
-	if t > p.lastDone {
-		p.lastDone = t
+	if t > b.lastDone {
+		b.lastDone = t
 	}
 	b.busy = false
+	b.spare = b.cur[:0]
 	b.cur = nil
-	p.dispatch(b)
+	p.dispatch(b, t)
 }

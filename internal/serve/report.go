@@ -75,7 +75,40 @@ func percentile(sample []sim.Duration, q float64) sim.Duration {
 	return sorted[i]
 }
 
+// report assembles the run outcome by merging the blade-local ledgers in
+// blade-index order. Every merged quantity is either a sum, a max, or an
+// order-insensitive percentile over the union of per-blade samples, so
+// the report is identical whether the blades ran sequentially or each on
+// its own wheel.
 func (p *pool) report(offered float64) *Report {
+	var served, late, degraded, shedExpired, batches, batchRequests, fallbacks int
+	var schemeBatches [numSchemes]int
+	var lastDone sim.Time
+	var latencies []sim.Duration
+	for _, b := range p.blades {
+		served += b.served
+		late += b.late
+		degraded += b.degraded
+		shedExpired += b.shedExpired
+		batches += b.batches
+		batchRequests += b.batchRequests
+		fallbacks += b.schemeFallbacks
+		for s := range schemeBatches {
+			schemeBatches[s] += b.schemeBatches[s]
+		}
+		latencies = append(latencies, b.latencies...)
+		if b.lastDone > lastDone {
+			lastDone = b.lastDone
+		}
+	}
+	// Only schemes that actually dispatched appear, matching the
+	// increment-on-use map the loop historically built.
+	schemes := map[string]int{}
+	for s := Scheme(0); s < numSchemes; s++ {
+		if n := schemeBatches[s]; n > 0 {
+			schemes[s.String()] = n
+		}
+	}
 	r := &Report{
 		Policy:              p.cfg.Policy.String(),
 		Blades:              p.cfg.Blades,
@@ -84,25 +117,25 @@ func (p *pool) report(offered float64) *Report {
 		OfferedRPS:          offered,
 		RateMultiple:        p.cfg.Rate,
 		Deadline:            p.deadline,
-		Served:              p.served,
-		Late:                p.late,
-		Degraded:            p.degraded,
+		Served:              served,
+		Late:                late,
+		Degraded:            degraded,
 		ShedRejected:        p.shedRejected,
-		ShedExpired:         p.shedExpired,
-		Batches:             p.batches,
-		SchemeBatches:       p.schemeBatches,
-		PolicyFallbacks:     p.fallbacks,
+		ShedExpired:         shedExpired,
+		Batches:             batches,
+		SchemeBatches:       schemes,
+		PolicyFallbacks:     p.placeFallbacks + fallbacks,
 		EstimatorConclusive: p.cal.Conclusive(),
-		Makespan:            p.lastDone.Sub(0),
-		LatencyP50:          percentile(p.latencies, 0.50),
-		LatencyP95:          percentile(p.latencies, 0.95),
-		LatencyP99:          percentile(p.latencies, 0.99),
+		Makespan:            lastDone.Sub(0),
+		LatencyP50:          percentile(latencies, 0.50),
+		LatencyP95:          percentile(latencies, 0.95),
+		LatencyP99:          percentile(latencies, 0.99),
 	}
-	if p.batches > 0 {
-		r.MeanBatch = float64(p.batchRequests) / float64(p.batches)
+	if batches > 0 {
+		r.MeanBatch = float64(batchRequests) / float64(batches)
 	}
-	if p.served > 0 && p.lastDone > 0 {
-		r.AchievedRPS = float64(p.served) / p.lastDone.Seconds()
+	if served > 0 && lastDone > 0 {
+		r.AchievedRPS = float64(served) / lastDone.Seconds()
 	}
 	for _, b := range p.blades {
 		bs := BladeStats{

@@ -92,6 +92,21 @@ type Config struct {
 	// Parallel bounds the worker pool used for calibration simulations;
 	// it never affects results, only wall-clock time.
 	Parallel int
+	// Shards bounds the workers driving the per-blade event wheels in the
+	// sharded run (zero selects GOMAXPROCS). Like Parallel it never
+	// affects results: the epoch-barrier protocol makes every worker
+	// count byte-identical.
+	Shards int
+	// SeqSim selects the sequential reference event loop instead of the
+	// sharded per-blade wheels. Both produce byte-identical reports; the
+	// sequential loop exists as the determinism oracle and fallback.
+	SeqSim bool
+	// FullFidelity re-runs the full machine simulation behind every
+	// dispatch (nested in the dispatching blade's wheel) and fails the
+	// run if any dispatch diverges from the calibration table. This is
+	// the verified-dispatch mode: much more expensive, byte-identical
+	// report.
+	FullFidelity bool
 	// Instrument attaches a per-blade trace recorder and metrics
 	// registry to the report (excluded from JSON, so artifacts stay
 	// byte-identical with instrumentation on or off).
@@ -196,6 +211,13 @@ func Run(cfg Config) (*Report, error) {
 
 	reqs := arrivals(cfg.Seed, cfg.Requests, offered, cfg.Burst, cfg.TallFrac, deadline)
 	p := newPool(cfg, cal, deadline)
-	p.run(reqs)
+	if cfg.SeqSim {
+		p.run(reqs)
+	} else if err := p.runSharded(reqs, cfg.Shards); err != nil {
+		return nil, fmt.Errorf("serve: sharded run: %w", err)
+	}
+	if err := p.firstVerifyErr(); err != nil {
+		return nil, err
+	}
 	return p.report(offered), nil
 }

@@ -237,9 +237,20 @@ type BlockedProc struct {
 // while processes were still blocked, so none of them can ever resume.
 // Instead of ending the run as if it completed, Run surfaces every stuck
 // process and its wait cause.
+//
+// When the deadlocked engine was one wheel of a ShardedEngine run, the
+// shard fields identify the blocked wheel and the epoch-barrier state at
+// the first stall, so a stuck shard reads as "wheel N stalled at epoch E"
+// rather than a bare global deadlock table.
 type DeadlockError struct {
 	At      Time
 	Blocked []BlockedProc
+
+	// Sharded execution context (populated by ShardedEngine).
+	Sharded bool
+	Wheel   int    // index of the deadlocked wheel
+	Epoch   uint64 // epoch in which the wheel first stalled
+	Barrier Time   // that epoch's barrier deadline (Never for the final drain)
 }
 
 func (e *DeadlockError) Error() string {
@@ -247,8 +258,13 @@ func (e *DeadlockError) Error() string {
 	for i, b := range e.Blocked {
 		parts[i] = fmt.Sprintf("%s (blocked on %s since %s)", b.Name, b.Queue, b.Since)
 	}
-	return fmt.Sprintf("sim: deadlock at %s: no events pending and %d process(es) blocked: %s",
-		e.At, len(e.Blocked), strings.Join(parts, "; "))
+	head := fmt.Sprintf("sim: deadlock at %s", e.At)
+	if e.Sharded {
+		head = fmt.Sprintf("sim: wheel %d deadlocked at %s (stalled in epoch %d, barrier %s)",
+			e.Wheel, e.At, e.Epoch, e.Barrier)
+	}
+	return fmt.Sprintf("%s: no events pending and %d process(es) blocked: %s",
+		head, len(e.Blocked), strings.Join(parts, "; "))
 }
 
 // Blocked returns a snapshot of the currently blocked processes, sorted by

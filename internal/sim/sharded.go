@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedEngine runs a set of independent event wheels — one Engine per
+// shard — under a conservative epoch-barrier protocol, so one simulation
+// run can execute on many cores without giving up determinism.
+//
+// The model: shards own disjoint simulated state and never touch each
+// other's wheels directly. All cross-shard interaction happens at
+// barriers, where a single coordinator runs serially with every wheel
+// quiescent. Between barriers the wheels advance independently — each one
+// is a deterministic sequential engine, so its event order is a pure
+// function of its own inputs regardless of which goroutine happens to
+// drive it or how the other wheels are scheduled. Barriers execute in a
+// fixed order (driven by the caller's virtual-time schedule), and the
+// coordinator observes the wheels in wheel-index order, so the whole run
+// is byte-identical at any worker count, including the fully sequential
+// workers=1 fallback (which drives the wheels one after another through
+// the exact same code path).
+//
+// A ShardedEngine is not itself an Engine: it has no global clock. Each
+// wheel keeps its own virtual time, advanced only by its own events; the
+// barrier deadline is the only global synchronization point.
+type ShardedEngine struct {
+	wheels  []*Engine
+	workers int
+
+	epoch   uint64 // barrier rounds started (the final drain counts as one)
+	barrier Time   // deadline of the current/last epoch (Never for the drain)
+
+	// stalled records, per wheel, the epoch at which the wheel last drained
+	// its queue with processes still blocked (a would-be deadlock that the
+	// coordinator may still resolve by injecting events at a barrier).
+	stalled []struct {
+		epoch   uint64
+		barrier Time
+	}
+}
+
+// NewSharded builds a sharded engine with the given number of wheels.
+// workers bounds how many wheels execute concurrently between barriers:
+// 0 selects GOMAXPROCS, 1 selects the sequential fallback. The worker
+// count never affects results, only host wall time.
+func NewSharded(wheels, workers int) *ShardedEngine {
+	if wheels < 1 {
+		panic("sim: NewSharded needs at least one wheel")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedEngine{workers: workers}
+	s.wheels = make([]*Engine, wheels)
+	for i := range s.wheels {
+		s.wheels[i] = NewEngine()
+	}
+	s.stalled = make([]struct {
+		epoch   uint64
+		barrier Time
+	}, wheels)
+	return s
+}
+
+// Wheels reports the number of wheels.
+func (s *ShardedEngine) Wheels() int { return len(s.wheels) }
+
+// Wheel returns wheel i. The caller may schedule events on it freely
+// before Run and from within barrier callbacks; scheduling from another
+// wheel's events is a data race and breaks determinism.
+func (s *ShardedEngine) Wheel(i int) *Engine { return s.wheels[i] }
+
+// EventCount reports the total events dispatched across all wheels.
+func (s *ShardedEngine) EventCount() uint64 {
+	var n uint64
+	for _, w := range s.wheels {
+		n += w.EventCount
+	}
+	return n
+}
+
+// Epochs reports how many epochs have started (the final drain included).
+func (s *ShardedEngine) Epochs() uint64 { return s.epoch }
+
+// Run executes the epoch-barrier protocol:
+//
+//	for next() reports a barrier time t:
+//	    run every wheel up to t (concurrently, workers permitting)
+//	    run barrier(t) serially with all wheels quiescent
+//	when next() reports no more barriers:
+//	    drain every wheel to completion and return
+//
+// next and barrier run on the caller's goroutine, always alone: the
+// coordinator is the only code that may look across wheels, and it is the
+// only legal channel for cross-wheel interaction (reading shard state,
+// injecting events via Wheel(i)).
+//
+// A wheel that drains its queue mid-epoch with processes still blocked is
+// not yet a failure — the coordinator may wake it at the next barrier —
+// so such stalls are only recorded. At the final drain a stall is
+// permanent: Run returns the stalled wheel's DeadlockError, annotated
+// with the wheel index and epoch-barrier state (see DeadlockError), with
+// the lowest wheel index winning deterministically when several wheels
+// are stuck.
+func (s *ShardedEngine) Run(next func() (Time, bool), barrier func(t Time)) error {
+	for {
+		t, ok := next()
+		if !ok {
+			s.epoch++
+			s.barrier = Never
+			return s.promote(s.runEpoch(Never))
+		}
+		s.epoch++
+		s.barrier = t
+		s.note(s.runEpoch(t))
+		barrier(t)
+	}
+}
+
+// Drain runs every wheel to completion with no barriers — the degenerate
+// single-epoch schedule for fully independent shards (e.g. a grid of
+// simulations that never interact).
+func (s *ShardedEngine) Drain() error {
+	return s.Run(func() (Time, bool) { return 0, false }, nil)
+}
+
+// runEpoch advances every wheel to the deadline and returns the per-wheel
+// RunUntil results. Wheels are distributed over the worker pool by an
+// atomic work-stealing counter; with workers <= 1 they run in index order
+// on the calling goroutine through the same code. The WaitGroup gives the
+// coordinator a happens-before edge over every wheel's writes.
+func (s *ShardedEngine) runEpoch(deadline Time) []error {
+	errs := make([]error, len(s.wheels))
+	workers := s.workers
+	if workers > len(s.wheels) {
+		workers = len(s.wheels)
+	}
+	if workers <= 1 {
+		for i, w := range s.wheels {
+			errs[i] = w.RunUntil(deadline)
+		}
+		return errs
+	}
+	var idx atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(s.wheels) {
+					return
+				}
+				errs[i] = s.wheels[i].RunUntil(deadline)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// note records mid-epoch stalls (keeping the first stall epoch) and
+// clears stalls that resolved.
+func (s *ShardedEngine) note(errs []error) {
+	for i, err := range errs {
+		var de *DeadlockError
+		if errors.As(err, &de) {
+			if s.stalled[i].epoch == 0 {
+				s.stalled[i].epoch = s.epoch
+				s.stalled[i].barrier = s.barrier
+			}
+		} else {
+			s.stalled[i].epoch = 0
+		}
+	}
+}
+
+// promote turns the final drain's per-wheel results into Run's return
+// value: the lowest-indexed wheel's error wins, and DeadlockErrors are
+// annotated with the shard context so a stalled shard never surfaces as a
+// bare global deadlock table.
+func (s *ShardedEngine) promote(errs []error) error {
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var de *DeadlockError
+		if errors.As(err, &de) {
+			de.Sharded = true
+			de.Wheel = i
+			de.Epoch = s.epoch
+			de.Barrier = s.barrier
+			if st := s.stalled[i]; st.epoch != 0 {
+				de.Epoch = st.epoch
+				de.Barrier = st.barrier
+			}
+		}
+		return err
+	}
+	return nil
+}

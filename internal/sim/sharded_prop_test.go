@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The storm property: a randomized event storm — bursts of same-timestamp
+// events, chained reschedules, and cross-wheel injections at barriers,
+// all drawn from a seeded splitmix64 stream — must produce byte-identical
+// per-wheel dispatch logs and event counts at every worker count. This
+// pins the two merge guarantees the sharded engine is built on: events at
+// the same timestamp dispatch in scheduling (FIFO) order within a wheel,
+// and the epoch barriers impose a deterministic cross-wheel order that
+// does not depend on goroutine scheduling.
+
+// stormRand is the same tiny splitmix64 generator the serve load
+// generator and the fault planner use.
+type stormRand uint64
+
+func (r *stormRand) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a deterministic draw in [0, n).
+func (r *stormRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// stormSpec sizes one randomized storm.
+type stormSpec struct {
+	wheels   int
+	events   int // initial events per wheel
+	bursts   int // extra same-timestamp events layered on random instants
+	barriers int
+	injects  int // coordinator injections per barrier
+	chain    int // chained reschedule depth per initial event
+}
+
+// runStorm builds and runs one storm at the given worker count and
+// returns the per-wheel dispatch logs (concatenated wheel-major) plus the
+// total event count. Everything random is drawn from seed, never from the
+// execution, so two invocations with equal (spec, seed) describe the
+// identical simulation.
+func runStorm(t testing.TB, spec stormSpec, seed uint64, workers int) ([]string, uint64) {
+	t.Helper()
+	s := NewSharded(spec.wheels, workers)
+	logs := make([][]string, spec.wheels)
+	horizon := Time(spec.barriers+1) * Time(Millisecond)
+
+	note := func(w int, tag string, id int) func() {
+		return func() {
+			logs[w] = append(logs[w], fmt.Sprintf("w%d %s#%d @%d", w, tag, id, s.Wheel(w).Now()))
+		}
+	}
+	// Per-wheel seeded streams so wheel construction order cannot leak
+	// between wheels.
+	for w := 0; w < spec.wheels; w++ {
+		rng := stormRand(seed + uint64(w)*0x9e3779b9)
+		for e := 0; e < spec.events; e++ {
+			at := Time(rng.intn(int(horizon)))
+			depth := rng.intn(spec.chain + 1)
+			step := Duration(1 + rng.intn(int(Millisecond)))
+			var fire func(d int, at Time) func()
+			w, e := w, e
+			fire = func(d int, at Time) func() {
+				return func() {
+					note(w, "evt", e*100+d)()
+					if d > 0 {
+						s.Wheel(w).At(at.Add(step), fire(d-1, at.Add(step)))
+					}
+				}
+			}
+			s.Wheel(w).At(at, fire(depth, at))
+		}
+		// Same-timestamp bursts: several events on one instant; their log
+		// order must equal their scheduling order at any worker count.
+		for b := 0; b < spec.bursts; b++ {
+			at := Time(rng.intn(int(horizon)))
+			n := 2 + rng.intn(3)
+			for k := 0; k < n; k++ {
+				s.Wheel(w).At(at, note(w, fmt.Sprintf("burst%d", b), k))
+			}
+		}
+	}
+
+	// Barrier schedule and cross-wheel injections from a separate stream.
+	crng := stormRand(seed ^ 0xabcdef12345678)
+	bi := 0
+	err := s.Run(
+		func() (Time, bool) {
+			if bi >= spec.barriers {
+				return 0, false
+			}
+			bi++
+			return Time(bi) * Time(Millisecond), true
+		},
+		func(at Time) {
+			for k := 0; k < spec.injects; k++ {
+				w := crng.intn(spec.wheels)
+				// Injections may land before the barrier (clamped to the
+				// wheel's own clock), exactly at it, or in a later epoch.
+				target := at.Add(Duration(crng.intn(int(2*Millisecond))) - Duration(Millisecond))
+				s.Wheel(w).At(target, note(w, fmt.Sprintf("inj%d", bi), k))
+			}
+		},
+	)
+	if err != nil {
+		t.Fatalf("storm run (workers=%d): %v", workers, err)
+	}
+	var flat []string
+	for _, l := range logs {
+		flat = append(flat, l...)
+	}
+	return flat, s.EventCount()
+}
+
+// TestShardedStormDeterminism is the table-driven property test: for each
+// seeded storm shape, every worker count reproduces the workers=1 run
+// exactly.
+func TestShardedStormDeterminism(t *testing.T) {
+	type test struct {
+		name string
+		spec stormSpec
+		seed uint64
+	}
+	runTests := func(t *testing.T, tests []test) {
+		for _, tc := range tests {
+			t.Run(tc.name, func(t *testing.T) {
+				refLog, refCount := runStorm(t, tc.spec, tc.seed, 1)
+				if len(refLog) == 0 {
+					t.Fatal("degenerate storm: no events dispatched")
+				}
+				for _, workers := range []int{2, 4, 8} {
+					log, count := runStorm(t, tc.spec, tc.seed, workers)
+					if count != refCount {
+						t.Fatalf("workers=%d event count %d, want %d", workers, count, refCount)
+					}
+					if !reflect.DeepEqual(log, refLog) {
+						i := 0
+						for i < len(log) && i < len(refLog) && log[i] == refLog[i] {
+							i++
+						}
+						t.Fatalf("workers=%d diverged at entry %d (len %d vs %d): got %v want %v",
+							workers, i, len(log), len(refLog), tail(log, i), tail(refLog, i))
+					}
+				}
+			})
+		}
+	}
+	runTests(t, []test{
+		{"small dense", stormSpec{wheels: 2, events: 8, bursts: 3, barriers: 3, injects: 2, chain: 2}, 1},
+		{"wide pool", stormSpec{wheels: 16, events: 4, bursts: 2, barriers: 2, injects: 4, chain: 1}, 7},
+		{"deep chains", stormSpec{wheels: 3, events: 5, bursts: 1, barriers: 4, injects: 1, chain: 6}, 42},
+		{"burst heavy", stormSpec{wheels: 4, events: 2, bursts: 8, barriers: 2, injects: 3, chain: 0}, 20070710},
+		{"single wheel", stormSpec{wheels: 1, events: 12, bursts: 4, barriers: 3, injects: 2, chain: 3}, 99},
+	})
+}
+
+func tail(log []string, i int) []string {
+	if i >= len(log) {
+		return nil
+	}
+	end := i + 3
+	if end > len(log) {
+		end = len(log)
+	}
+	return log[i:end]
+}
+
+// TestShardedSameTimestampFIFO pins the now-lane guarantee through the
+// sharded runner directly: k events scheduled on one instant dispatch in
+// scheduling order, even when the instant is also a barrier deadline.
+func TestShardedSameTimestampFIFO(t *testing.T) {
+	s := NewSharded(2, 2)
+	var order []int
+	at := Time(Millisecond)
+	for k := 0; k < 16; k++ {
+		k := k
+		s.Wheel(1).At(at, func() { order = append(order, k) })
+	}
+	fired := false
+	err := s.Run(func() (Time, bool) {
+		if fired {
+			return 0, false
+		}
+		fired = true
+		return at, true // barrier exactly on the burst instant
+	}, func(Time) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, got := range order {
+		if got != k {
+			t.Fatalf("same-timestamp dispatch order %v is not FIFO", order)
+		}
+	}
+	if len(order) != 16 {
+		t.Fatalf("dispatched %d of 16 burst events", len(order))
+	}
+}
+
+// FuzzShardedStorm fuzzes the storm property over the seed and shape:
+// any (seed, wheels, events) must be worker-count invariant.
+func FuzzShardedStorm(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(6))
+	f.Add(uint64(7), uint8(5), uint8(3))
+	f.Add(uint64(20070710), uint8(9), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, wheels, events uint8) {
+		spec := stormSpec{
+			wheels:   1 + int(wheels%12),
+			events:   1 + int(events%10),
+			bursts:   2,
+			barriers: 3,
+			injects:  2,
+			chain:    2,
+		}
+		refLog, refCount := runStorm(t, spec, seed, 1)
+		log, count := runStorm(t, spec, seed, 4)
+		if count != refCount || !reflect.DeepEqual(log, refLog) {
+			t.Fatalf("seed %d spec %+v: workers=4 diverged from workers=1", seed, spec)
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardedDrainRunsAllWheels checks the degenerate no-barrier schedule:
+// every wheel's events run to completion, per-wheel order and clocks are
+// preserved, and EventCount sums over the wheels.
+func TestShardedDrainRunsAllWheels(t *testing.T) {
+	s := NewSharded(4, 2)
+	logs := make([][]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		w := s.Wheel(i)
+		for j := 0; j < 3; j++ {
+			j := j
+			w.At(Time(j+1)*Time(Millisecond), func() { logs[i] = append(logs[i], j) })
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for i, log := range logs {
+		if len(log) != 3 || log[0] != 0 || log[1] != 1 || log[2] != 2 {
+			t.Fatalf("wheel %d ran out of order: %v", i, log)
+		}
+		if now := s.Wheel(i).Now(); now != Time(3*Millisecond) {
+			t.Fatalf("wheel %d clock %v, want 3ms", i, now)
+		}
+	}
+	if s.EventCount() != 12 {
+		t.Fatalf("EventCount %d, want 12", s.EventCount())
+	}
+}
+
+// TestShardedEpochBarrier checks the conservative protocol: wheels stop
+// exactly at each barrier deadline, the coordinator runs alone between
+// epochs and may inject events into any wheel, and injected events are
+// honoured in the following epoch.
+func TestShardedEpochBarrier(t *testing.T) {
+	s := NewSharded(2, 2)
+	var mu sync.Mutex
+	var log []string
+	append_ := func(tag string) {
+		mu.Lock()
+		log = append(log, tag)
+		mu.Unlock()
+	}
+	record := func(tag string) func() {
+		return func() { append_(tag) }
+	}
+	s.Wheel(0).At(Time(1*Millisecond), record("w0@1"))
+	s.Wheel(0).At(Time(5*Millisecond), record("w0@5"))
+	s.Wheel(1).At(Time(3*Millisecond), record("w1@3"))
+
+	barriers := []Time{Time(2 * Millisecond), Time(4 * Millisecond)}
+	bi := 0
+	err := s.Run(
+		func() (Time, bool) {
+			if bi >= len(barriers) {
+				return 0, false
+			}
+			t := barriers[bi]
+			bi++
+			return t, true
+		},
+		func(at Time) {
+			// The coordinator sees both wheels quiescent at the barrier
+			// and is the only legal cross-wheel channel.
+			append_(fmt.Sprintf("barrier@%dms", int64(at)/int64(Millisecond)))
+			if at == Time(2*Millisecond) {
+				// Wheel 0 already ran its 1ms event; wheel 1's 3ms event
+				// must not have run yet.
+				s.Wheel(1).At(Time(3*Millisecond)+Time(500*Microsecond), record("w1@3.5(injected)"))
+			}
+		},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"w0@1", "barrier@2ms", "w1@3", "w1@3.5(injected)", "barrier@4ms", "w0@5"}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q (full: %v)", i, log[i], want[i], log)
+		}
+	}
+	if s.Epochs() != 3 { // two barrier epochs plus the final drain
+		t.Fatalf("Epochs %d, want 3", s.Epochs())
+	}
+}
+
+// TestShardedDeadlockIsShardAware checks the bugfix: a wheel that ends
+// the run with blocked processes surfaces as that wheel's annotated
+// DeadlockError — wheel index, stall epoch and barrier state in the
+// message — with the lowest wheel index winning when several are stuck.
+func TestShardedDeadlockIsShardAware(t *testing.T) {
+	s := NewSharded(4, 2)
+	block := func(w *Engine, name string) {
+		q := NewQueue("never-signalled")
+		w.Spawn(name, func(p *Proc) { p.Wait(q) })
+	}
+	// Wheels 1 and 3 block forever; 0 and 2 finish clean work.
+	block(s.Wheel(1), "stuck-b")
+	block(s.Wheel(3), "stuck-d")
+	s.Wheel(0).At(Time(Millisecond), func() {})
+	s.Wheel(2).At(Time(Millisecond), func() {})
+
+	barriers := []Time{Time(2 * Millisecond), Time(4 * Millisecond)}
+	bi := 0
+	err := s.Run(func() (Time, bool) {
+		if bi >= len(barriers) {
+			return 0, false
+		}
+		t := barriers[bi]
+		bi++
+		return t, true
+	}, func(Time) {})
+	if err == nil {
+		t.Fatal("expected a deadlock error")
+	}
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("error type %T, want *DeadlockError", err)
+	}
+	if !de.Sharded || de.Wheel != 1 {
+		t.Fatalf("annotation Sharded=%v Wheel=%d, want Sharded=true Wheel=1 (lowest stuck wheel)", de.Sharded, de.Wheel)
+	}
+	if de.Epoch != 1 || de.Barrier != Time(2*Millisecond) {
+		t.Fatalf("stall epoch/barrier = %d/%v, want 1/2ms (first epoch the wheel stalled in)", de.Epoch, de.Barrier)
+	}
+	msg := err.Error()
+	for _, frag := range []string{"wheel 1 deadlocked", "epoch 1", "stuck-b", "never-signalled"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("deadlock message missing %q: %s", frag, msg)
+		}
+	}
+}
+
+// TestShardedStallResolvedByBarrier checks that a mid-epoch stall is not
+// an error when the coordinator wakes the wheel at a later barrier.
+func TestShardedStallResolvedByBarrier(t *testing.T) {
+	s := NewSharded(2, 1)
+	q := NewQueue("work")
+	var got bool
+	s.Wheel(0).Spawn("waiter", func(p *Proc) {
+		p.Wait(q)
+		got = true
+	})
+	fired := false
+	err := s.Run(func() (Time, bool) {
+		if fired {
+			return 0, false
+		}
+		fired = true
+		return Time(Millisecond), true
+	}, func(Time) {
+		q.WakeOne(s.Wheel(0)) // the coordinator resolves the stall
+	})
+	if err != nil {
+		t.Fatalf("Run: %v (stall should have been resolved at the barrier)", err)
+	}
+	if !got {
+		t.Fatal("waiter never resumed")
+	}
+}
+
+// TestUnshardedDeadlockMessageUnchanged pins the non-sharded error shape:
+// engines outside a ShardedEngine must keep the bare global report.
+func TestUnshardedDeadlockMessageUnchanged(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue("empty-mailbox")
+	e.Spawn("reader", func(p *Proc) { p.Wait(q) })
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "sim: deadlock at ") {
+		t.Fatalf("unsharded prefix changed: %s", msg)
+	}
+	if strings.Contains(msg, "wheel") {
+		t.Fatalf("unsharded deadlock mentions wheels: %s", msg)
+	}
+}
+
+// TestShardedWorkerCountInvariance runs the same two-wheel schedule with
+// completion-chain events (each event schedules its successor, the serve
+// layer's dispatch pattern) at several worker counts and requires
+// byte-identical logs and event counts.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	build := func(workers int) ([]string, uint64) {
+		s := NewSharded(3, workers)
+		logs := make([][]string, 3)
+		var chain func(w int, depth int, at Time)
+		chain = func(w int, depth int, at Time) {
+			s.Wheel(w).At(at, func() {
+				logs[w] = append(logs[w], fmt.Sprintf("w%d d%d @%d", w, depth, s.Wheel(w).Now()))
+				if depth < 4 {
+					chain(w, depth+1, at+Time(depth+1)*Time(Microsecond))
+				}
+			})
+		}
+		for w := 0; w < 3; w++ {
+			chain(w, 0, Time(w+1)*Time(Microsecond))
+		}
+		barriers := []Time{Time(3 * Microsecond), Time(9 * Microsecond)}
+		bi := 0
+		err := s.Run(func() (Time, bool) {
+			if bi >= len(barriers) {
+				return 0, false
+			}
+			t := barriers[bi]
+			bi++
+			return t, true
+		}, func(at Time) {
+			for w := 0; w < 3; w++ {
+				logs[w] = append(logs[w], fmt.Sprintf("w%d barrier@%d", w, at))
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var flat []string
+		for _, l := range logs {
+			flat = append(flat, l...)
+		}
+		return flat, s.EventCount()
+	}
+	refLog, refCount := build(1)
+	for _, workers := range []int{2, 3, 8} {
+		log, count := build(workers)
+		if count != refCount {
+			t.Fatalf("workers=%d EventCount %d, want %d", workers, count, refCount)
+		}
+		if len(log) != len(refLog) {
+			t.Fatalf("workers=%d log length %d, want %d", workers, len(log), len(refLog))
+		}
+		for i := range log {
+			if log[i] != refLog[i] {
+				t.Fatalf("workers=%d log[%d] = %q, want %q", workers, i, log[i], refLog[i])
+			}
+		}
+	}
+}
