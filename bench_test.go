@@ -389,7 +389,7 @@ var benchServeCal = sync.OnceValues(func() (*serve.Calibration, error) {
 	return serve.Calibrate(benchServeConfig())
 })
 
-func benchServe(b *testing.B, seqsim bool) {
+func benchServe(b *testing.B, seqsim, noLookahead bool) {
 	cal, err := benchServeCal()
 	if err != nil {
 		b.Fatal(err)
@@ -397,6 +397,7 @@ func benchServe(b *testing.B, seqsim bool) {
 	cfg := benchServeConfig()
 	cfg.Cal = cal
 	cfg.SeqSim = seqsim
+	cfg.NoLookahead = noLookahead
 	b.ResetTimer()
 	var rep *serve.Report
 	for i := 0; i < b.N; i++ {
@@ -406,17 +407,27 @@ func benchServe(b *testing.B, seqsim bool) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(rep.Served), "served")
+	if !seqsim {
+		b.ReportMetric(float64(rep.Epochs), "epochs")
+	}
 }
 
 // BenchmarkServeSeq is the sequential reference loop with inline
 // verified dispatch — the single-core baseline.
-func BenchmarkServeSeq(b *testing.B) { benchServe(b, true) }
+func BenchmarkServeSeq(b *testing.B) { benchServe(b, true, false) }
 
 // BenchmarkServeSharded is the same run on per-blade event wheels
-// (workers = GOMAXPROCS). On a multicore host the nested dispatch
-// simulations spread across the wheels; target is ≥2× over
-// BenchmarkServeSeq at GOMAXPROCS ≥ 4.
-func BenchmarkServeSharded(b *testing.B) { benchServe(b, false) }
+// (workers = GOMAXPROCS) under the conservative lookahead coordinator.
+// On a multicore host the nested dispatch simulations spread across the
+// wheels; target is ≥2× over BenchmarkServeSeq at GOMAXPROCS ≥ 4, and
+// fewer epochs than BenchmarkServeBarrierPerArrival (the epochs metric).
+func BenchmarkServeSharded(b *testing.B) { benchServe(b, false, false) }
+
+// BenchmarkServeBarrierPerArrival is the sharded run with lookahead
+// disabled — an epoch barrier at every distinct arrival instant. The gap
+// to BenchmarkServeSharded is the synchronization cost the lookahead
+// protocol removes; the reports are byte-identical.
+func BenchmarkServeBarrierPerArrival(b *testing.B) { benchServe(b, false, true) }
 
 // --- substrate micro-benchmarks ---------------------------------------------
 

@@ -29,6 +29,8 @@
 //	                             # wheels (0 = GOMAXPROCS; never affects results)
 //	paperbench -seqsim           # serve: sequential reference loop instead of
 //	                             # the sharded wheels (determinism oracle)
+//	paperbench -lookahead=false  # serve: restore an epoch barrier per arrival
+//	                             # instant (lookahead off; identical bytes)
 //	paperbench -fullsim          # serve: re-simulate the machine behind every
 //	                             # dispatch and fail on calibration divergence
 //	paperbench -cpuprofile F     # write a pprof CPU profile of the run
@@ -67,9 +69,14 @@ import (
 	"cellport/internal/experiments"
 )
 
-// jsonEntry is one experiment's machine-readable record.
+// jsonEntry is one experiment's machine-readable record. Epochs (serve
+// only) counts epoch-barrier rounds across the experiment's runs; like
+// WallMS it describes the execution schedule, not the simulation, so it
+// lives beside Data — byte-compare tooling that strips to Data (the CI
+// smoke jobs, benchdiff's equality check) ignores it by construction.
 type jsonEntry struct {
 	WallMS float64 `json:"wall_ms"`
+	Epochs uint64  `json:"epochs,omitempty"`
 	Data   any     `json:"data"`
 }
 
@@ -104,6 +111,7 @@ type options struct {
 	burst       float64
 	shards      int
 	seqSim      bool
+	lookahead   bool
 	fullSim     bool
 	cpuProfile  string
 	memProfile  string
@@ -136,6 +144,7 @@ func parseFlags(args []string, errw io.Writer) (*options, int) {
 	fs.Float64Var(&o.burst, "burst", 0, "serve: mean arrival burst size (default 2)")
 	fs.IntVar(&o.shards, "shards", 0, "serve: workers driving the per-blade event wheels (0 = GOMAXPROCS; never affects results)")
 	fs.BoolVar(&o.seqSim, "seqsim", false, "serve: run the sequential reference event loop instead of the sharded wheels")
+	fs.BoolVar(&o.lookahead, "lookahead", true, "serve: admit arrivals inside the conservative lookahead horizon without a barrier (-lookahead=false restores per-arrival barriers; results are byte-identical)")
 	fs.BoolVar(&o.fullSim, "fullsim", false, "serve: re-simulate the full machine behind every dispatch (verified dispatch)")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocation profile of the run to this path")
@@ -186,7 +195,7 @@ func (o *options) validate() string {
 			return fmt.Sprintf("-%s only applies to -exp faults or -exp serve, not -exp %s", f, o.exp)
 		}
 	}
-	for _, f := range []string{"rate", "blades", "deadline", "servesed", "burst", "shards", "seqsim", "fullsim"} {
+	for _, f := range []string{"rate", "blades", "deadline", "servesed", "burst", "shards", "seqsim", "lookahead", "fullsim"} {
 		if o.set[f] && !expSelects("serve") {
 			return fmt.Sprintf("-%s only applies to -exp serve, not -exp %s", f, o.exp)
 		}
@@ -287,9 +296,10 @@ func runExperiments(o *options, out, errw io.Writer) int {
 			DeadlineMS: o.deadline,
 			Seed:       o.serveSeed,
 		},
-		Shards:  o.shards,
-		SeqSim:  o.seqSim,
-		FullSim: o.fullSim,
+		Shards:      o.shards,
+		SeqSim:      o.seqSim,
+		NoLookahead: !o.lookahead,
+		FullSim:     o.fullSim,
 	}
 	if o.tracePath != "" || o.metricsPath != "" {
 		cfg.Collect = &experiments.Collector{}
@@ -428,6 +438,15 @@ func runExperiments(o *options, out, errw io.Writer) int {
 
 	if failed {
 		return 1
+	}
+
+	// Epochs ride beside the serve entry's data, like wall_ms: schedule
+	// stats, visible to benchdiff, invisible to data byte-compares.
+	if e, ok := jsonDoc["serve"]; ok {
+		if sr, isServe := e.Data.(*experiments.ServeResult); isServe {
+			e.Epochs = sr.Epochs
+			jsonDoc["serve"] = e
+		}
 	}
 
 	if o.tracePath != "" {

@@ -187,7 +187,9 @@ func TestRunShardedMatchesSeqSimCLI(t *testing.T) {
 	for _, v := range []struct {
 		name  string
 		extra []string
-	}{{"default", nil}, {"shards8", []string{"-shards", "8"}}} {
+	}{{"default", nil}, {"shards8", []string{"-shards", "8"}},
+		{"lookahead-off", []string{"-lookahead=false"}},
+		{"lookahead-off-shards8", []string{"-lookahead=false", "-shards", "8"}}} {
 		got := invoke(v.name, v.extra...)
 		if string(got["serve"]) != string(seq["serve"]) {
 			t.Fatalf("%s diverged from -seqsim:\n got %s\nwant %s", v.name, got["serve"], seq["serve"])

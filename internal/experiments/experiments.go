@@ -52,6 +52,10 @@ type Config struct {
 	// SeqSim runs the serve experiment on the sequential reference loop
 	// instead of the sharded wheels (the determinism oracle).
 	SeqSim bool
+	// NoLookahead restores the per-arrival-instant epoch barrier schedule
+	// in the sharded serve run (serve.Config.NoLookahead). Reports are
+	// byte-identical either way; only the epoch count changes.
+	NoLookahead bool
 	// FullSim re-runs the full machine simulation behind every serve
 	// dispatch and fails on any divergence from the calibration table
 	// (serve.Config.FullFidelity).

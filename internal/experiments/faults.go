@@ -63,7 +63,7 @@ func FaultsExp(cfg Config) (*FaultsResult, error) {
 		pc.Faults = p
 		return cfg.runPorted(label, pc)
 	}
-	runs, err := RunIndexed(cfg.workers(), 3, func(i int) (*marvel.PortedResult, error) {
+	runs, err := RunWheels(cfg.workers(), 3, func(i int) (*marvel.PortedResult, error) {
 		switch i {
 		case 0:
 			return runOne("faults/baseline", nil) // fault-free baseline

@@ -55,17 +55,30 @@ func TestServeExpCollectsPerBlade(t *testing.T) {
 		t.Fatal(err)
 	}
 	runs := cfg.Collect.Runs()
-	want := 2 * cfg.Serve.Blades // two policies × blades
+	want := 2 * (cfg.Serve.Blades + 1) // two policies × (blades + coordinator sim lane)
 	if len(runs) != want {
 		t.Fatalf("collected %d artifacts, want %d", len(runs), want)
 	}
+	simLanes := 0
 	for _, r := range runs {
+		if strings.HasSuffix(r.Label, "/sim") {
+			// Coordinator artifact: epoch-barrier instants plus the sim.*
+			// synchronization counters.
+			simLanes++
+			if r.Metrics == nil {
+				t.Fatalf("artifact %q missing metrics", r.Label)
+			}
+			continue
+		}
 		if !strings.HasPrefix(r.Label, "serve/estimator/blade") && !strings.HasPrefix(r.Label, "serve/round-robin/blade") {
 			t.Fatalf("unexpected label %q", r.Label)
 		}
 		if r.Trace == nil || r.Metrics == nil {
 			t.Fatalf("artifact %q missing trace or metrics", r.Label)
 		}
+	}
+	if simLanes != 2 {
+		t.Fatalf("collected %d coordinator sim artifacts, want 2", simLanes)
 	}
 	var buf bytes.Buffer
 	if err := cfg.Collect.WriteChromeTrace(&buf); err != nil {
@@ -82,5 +95,38 @@ func TestServeExpCollectsPerBlade(t *testing.T) {
 	}
 	if !strings.Contains(mbuf.String(), `"serve/estimator/blade0"`) {
 		t.Fatalf("metrics JSON missing blade entry: %s", mbuf.String())
+	}
+}
+
+// TestServeExpEpochReduction pins the acceptance criterion of the
+// lookahead protocol on the -exp serve scenario itself: with lookahead
+// (the default) the experiment pays at least 5× fewer epoch barriers
+// than with per-arrival barriers, and the serialized results are
+// byte-identical anyway.
+func TestServeExpEpochReduction(t *testing.T) {
+	run := func(noLookahead bool) ([]byte, uint64) {
+		t.Helper()
+		cfg := serveTestConfig(4)
+		cfg.NoLookahead = noLookahead
+		res, err := ServeExp(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc, res.Epochs
+	}
+	laDoc, laEpochs := run(false)
+	nolaDoc, nolaEpochs := run(true)
+	if !bytes.Equal(laDoc, nolaDoc) {
+		t.Fatalf("lookahead on/off diverged:\n got %s\nwant %s", laDoc, nolaDoc)
+	}
+	if laEpochs == 0 || nolaEpochs == 0 {
+		t.Fatalf("epoch counters missing: lookahead %d, per-arrival %d", laEpochs, nolaEpochs)
+	}
+	if nolaEpochs < 5*laEpochs {
+		t.Fatalf("epoch reduction below 5×: lookahead %d epochs vs per-arrival %d", laEpochs, nolaEpochs)
 	}
 }

@@ -1,0 +1,46 @@
+package parallel
+
+import "cellport/internal/sim"
+
+// RunWheels executes job(0..n-1) with the sharded DES engine as the
+// execution substrate instead of a raw goroutine pool: each job runs as
+// the sole event of its own wheel of a sim.ShardedEngine, and Drain fans
+// the wheels out over up to `workers` goroutines (<= 0 selects
+// GOMAXPROCS, 1 the sequential fallback). Results come back in index
+// order and, like RunIndexed, the lowest-index error wins
+// deterministically when several jobs fail.
+//
+// The point of routing embarrassingly parallel grids through wheels is
+// uniformity, not speed: every fan-out in the repository — serve's
+// per-blade event loop, the calibration table, the faults and scaling
+// grids — then runs on the same engine with the same determinism
+// contract, and a job that is itself a simulation may host its machine
+// directly on its wheel (cell.Config.Engine) instead of nesting a
+// private engine. Jobs must be independent: a job may not touch another
+// job's wheel or shared mutable state.
+//
+// Unlike RunIndexed, a failure does not stop the remaining jobs — every
+// wheel drains to completion — so jobs must be safe to run even after a
+// sibling has failed.
+func RunWheels[T any](workers, n int, job func(i int, wheel *sim.Engine) (T, error)) ([]T, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	sh := sim.NewSharded(n, workers)
+	for i := 0; i < n; i++ {
+		i := i
+		w := sh.Wheel(i)
+		w.At(0, func() { results[i], errs[i] = job(i, w) })
+	}
+	if err := sh.Drain(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"cellport/internal/fault"
+	"cellport/internal/sim"
+)
+
+// TestLookaheadByteIdentityMatrix is the tentpole invariant of the
+// lookahead protocol: across every stressful scenario — overload with
+// deadline/expiry shedding, an armed fault plan, verified full-fidelity
+// dispatch — and at every shard count, the lookahead run and the
+// per-arrival-barrier run both serialize byte-for-byte identically to
+// the sequential reference loop.
+func TestLookaheadByteIdentityMatrix(t *testing.T) {
+	overload := func() Config {
+		cfg := quickConfig()
+		cfg.Cal = mustCal(t)
+		cfg.Rate = 2
+		cfg.Deadline = 150 * sim.Millisecond
+		return cfg
+	}
+	faulted := func() Config {
+		cfg := quickConfig().withDefaults()
+		cfg.Faults = fault.Seeded(7, cfg.MachineConfig.NumSPEs)
+		cfg.Rate = 2
+		cal, err := Calibrate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cal = cal
+		return cfg
+	}
+	fullsim := func() Config {
+		cfg := quickConfig()
+		cfg.Cal = mustCal(t)
+		cfg.Requests = 24
+		cfg.FullFidelity = true
+		return cfg
+	}
+	scenarios := []struct {
+		name   string
+		build  func() Config
+		shards []int
+	}{
+		{"overload-deadlines", overload, []int{0, 1, 2, 8}},
+		{"faults", faulted, []int{0, 1, 2, 8}},
+		{"fullsim", fullsim, []int{1, 8}}, // nested machine sims: keep the grid affordable
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			base := sc.build()
+			seq := base
+			seq.SeqSim = true
+			golden := marshal(t, mustRun(t, seq))
+			for _, noLookahead := range []bool{false, true} {
+				for _, shards := range sc.shards {
+					cfg := base
+					cfg.Shards = shards
+					cfg.NoLookahead = noLookahead
+					if got := marshal(t, mustRun(t, cfg)); !bytes.Equal(got, golden) {
+						t.Fatalf("noLookahead=%v shards=%d diverged from sequential loop:\n got %s\nwant %s",
+							noLookahead, shards, got, golden)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLookaheadSeededSweep is the property sweep: over a spread of
+// arrival seeds and load levels, lookahead on/off and the sequential
+// loop must agree byte-for-byte, and lookahead must actually commit
+// arrivals without barriers (otherwise the protocol is vacuous and this
+// test is pinning nothing).
+func TestLookaheadSeededSweep(t *testing.T) {
+	cal := mustCal(t)
+	windowAdmits := 0
+	for _, rate := range []float64{0.8, 2.5} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			base := quickConfig()
+			base.Cal = cal
+			base.Rate = rate
+			base.Seed = seed
+			base.Requests = 48
+			seq := base
+			seq.SeqSim = true
+			golden := marshal(t, mustRun(t, seq))
+
+			la := base
+			la.Shards = 4
+			laRep := mustRun(t, la)
+			if got := marshal(t, laRep); !bytes.Equal(got, golden) {
+				t.Fatalf("rate=%v seed=%d: lookahead diverged:\n got %s\nwant %s", rate, seed, got, golden)
+			}
+			windowAdmits += laRep.WindowAdmits
+
+			nola := base
+			nola.Shards = 4
+			nola.NoLookahead = true
+			if got := marshal(t, mustRun(t, nola)); !bytes.Equal(got, golden) {
+				t.Fatalf("rate=%v seed=%d: per-arrival barriers diverged:\n got %s\nwant %s", rate, seed, got, golden)
+			}
+		}
+	}
+	if windowAdmits == 0 {
+		t.Fatal("no arrival was ever admitted inside a lookahead window; the sweep exercises nothing")
+	}
+}
+
+// TestLookaheadEpochReduction pins the perf claim behind the protocol:
+// on the overloaded quick scenario the lookahead schedule needs several
+// times fewer epochs than per-arrival barriers, while the serialized
+// reports stay identical. (The ≥5× acceptance bound on the default -exp
+// serve scenario is pinned in internal/experiments; this local scenario
+// barriers more often because its tight deadline keeps queues short.)
+// It also pins the counter plumbing: sequential runs report no epochs,
+// sharded runs report the engine's count.
+func TestLookaheadEpochReduction(t *testing.T) {
+	base := quickConfig()
+	base.Cal = mustCal(t)
+	base.Rate = 2
+	base.Requests = 128 // a longer stream, matching the default -exp serve shape
+
+	la := base
+	laRep := mustRun(t, la)
+	nola := base
+	nola.NoLookahead = true
+	nolaRep := mustRun(t, nola)
+	if !bytes.Equal(marshal(t, laRep), marshal(t, nolaRep)) {
+		t.Fatal("lookahead and per-arrival reports diverged")
+	}
+	if laRep.Epochs == 0 || nolaRep.Epochs == 0 {
+		t.Fatalf("sharded runs must report epochs: lookahead %d, per-arrival %d", laRep.Epochs, nolaRep.Epochs)
+	}
+	if nolaRep.Epochs < 4*laRep.Epochs {
+		t.Fatalf("epoch reduction below 4×: lookahead %d epochs vs per-arrival %d", laRep.Epochs, nolaRep.Epochs)
+	}
+	if laRep.WindowAdmits == 0 {
+		t.Fatal("lookahead run admitted nothing inside a window")
+	}
+	if nolaRep.WindowAdmits != 0 {
+		t.Fatalf("per-arrival run reported %d window admits, want 0", nolaRep.WindowAdmits)
+	}
+	if laRep.BarrierWait > nolaRep.BarrierWait {
+		t.Fatalf("lookahead barrier wait %v exceeds per-arrival %v", laRep.BarrierWait, nolaRep.BarrierWait)
+	}
+
+	seq := base
+	seq.SeqSim = true
+	seqRep := mustRun(t, seq)
+	if seqRep.Epochs != 0 || seqRep.Barriers != 0 || seqRep.WindowAdmits != 0 {
+		t.Fatalf("sequential run reports sync stats: epochs %d barriers %d windowAdmits %d",
+			seqRep.Epochs, seqRep.Barriers, seqRep.WindowAdmits)
+	}
+}
+
+// TestLookaheadSimMetricsAndCoordinatorTrace checks the observability
+// satellite: with Instrument set, the report carries the sim.* counters
+// and one coordinator instant per paid barrier — and instrumentation
+// stays fingerprint-neutral (byte-identical serialized report).
+func TestLookaheadSimMetricsAndCoordinatorTrace(t *testing.T) {
+	base := quickConfig()
+	base.Cal = mustCal(t)
+	base.Rate = 2
+	golden := marshal(t, mustRun(t, base))
+
+	inst := base
+	inst.Instrument = true
+	rep := mustRun(t, inst)
+	if got := marshal(t, rep); !bytes.Equal(got, golden) {
+		t.Fatalf("instrumentation perturbed the report:\n got %s\nwant %s", got, golden)
+	}
+	if rep.Sim == nil {
+		t.Fatal("instrumented sharded run carries no sim metrics snapshot")
+	}
+	want := map[string]int64{
+		"epochs":        int64(rep.Epochs),
+		"barriers":      int64(rep.Barriers),
+		"barrier_wait":  int64(rep.BarrierWait),
+		"window_admits": int64(rep.WindowAdmits),
+	}
+	got := map[string]int64{}
+	for _, s := range rep.Sim.Samples {
+		if s.Component == "sim" {
+			got[s.Name] = s.Value
+		}
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("sim metric %q = %d, want %d (all: %v)", name, got[name], v, got)
+		}
+	}
+	if rep.Coordinator == nil {
+		t.Fatal("instrumented sharded run carries no coordinator trace")
+	}
+	if n := len(rep.Coordinator.Instants()); uint64(n) != rep.Barriers {
+		t.Fatalf("coordinator recorded %d barrier instants, want %d", n, rep.Barriers)
+	}
+}

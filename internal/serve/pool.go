@@ -81,11 +81,28 @@ type pool struct {
 	shedRejected   int
 	placeFallbacks int
 
+	// Coordinator-side synchronization accounting (sharded run only):
+	// epochs/barriers from the engine, windowAdmits counts arrivals the
+	// lookahead coordinator committed without paying a barrier, and
+	// barrierWait is the engine's accumulated virtual idle time.
+	epochs       uint64
+	barriers     uint64
+	windowAdmits int
+	barrierWait  sim.Duration
+
+	// ctr records coordinator-lane trace events (one instant per epoch
+	// barrier) when Config.Instrument is set; nil otherwise.
+	ctr *trace.Recorder
+
 	// placeOrder scratch, hoisted out of the admission hot path.
 	ordBuf   []*blade
 	scoreBuf []sim.Duration
 	idxBuf   []int
 }
+
+// coordLane is the trace lane carrying coordinator events (epoch
+// barriers), distinct from the per-blade lanes.
+const coordLane = "coordinator"
 
 func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
 	p := &pool{
@@ -95,6 +112,9 @@ func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
 		ordBuf:   make([]*blade, cfg.Blades),
 		scoreBuf: make([]sim.Duration, cfg.Blades),
 		idxBuf:   make([]int, cfg.Blades),
+	}
+	if cfg.Instrument {
+		p.ctr = trace.NewRecorder()
 	}
 	for i := 0; i < cfg.Blades; i++ {
 		b := &blade{
@@ -141,29 +161,56 @@ func (p *pool) run(reqs []Request) {
 	}
 }
 
-// runSharded plays the identical semantics on one event wheel per blade:
-// each distinct arrival timestamp is an epoch barrier. Between barriers
-// the wheels advance concurrently — completion-triggered redispatch
-// chains stay on the completing blade's wheel — and at each barrier the
-// coordinator admits that instant's arrivals alone, in stream order,
-// exactly as the sequential loop would. RunUntil is inclusive of the
-// barrier time, so completions at an arrival's timestamp still precede
-// the admission, matching the sequential loop's tie-break.
-func (p *pool) runSharded(reqs []Request, workers int) error {
+// runSharded plays the identical semantics on one event wheel per blade.
+// With lookahead off, each distinct arrival timestamp is an epoch
+// barrier: the coordinator admits that instant's arrivals alone, in
+// stream order, exactly as the sequential loop would. RunUntil is
+// inclusive of the barrier time, so completions at an arrival's
+// timestamp still precede the admission, matching the sequential loop's
+// tie-break.
+//
+// With lookahead on, the coordinator exploits the conservative horizon
+// (ShardedEngine.Horizon — the earliest pending event across all
+// wheels): while the wheels are quiescent, any arrival strictly below
+// the horizon can be admitted immediately, because no wheel event — in
+// particular no completion — exists at or before its timestamp, so the
+// per-arrival schedule would have admitted it into exactly this pool
+// state anyway. Admission itself schedules completion events (shrinking
+// the horizon), so the horizon is re-read after every commit. Only the
+// first arrival at or past the horizon forces a barrier; arrivals
+// sharing that barrier's timestamp are then admitted after the epoch
+// runs, preserving the completions-before-same-instant-arrivals rule.
+// The two schedules produce identical per-wheel event sequences, so the
+// reports are byte-identical — lookahead only deletes barriers whose
+// ordering constraints were vacuous.
+func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 	sh := sim.NewSharded(len(p.blades), workers)
 	for i, b := range p.blades {
 		b.wheel = sh.Wheel(i)
 	}
 	p.sharded = true
 	ai := 0
-	return sh.Run(
+	err := sh.Run(
 		func() (sim.Time, bool) {
+			for lookahead && ai < len(reqs) && reqs[ai].Arrival < sh.Horizon() {
+				// p.now drives placement scoring and deadline shedding,
+				// so it must track each admitted arrival exactly as a
+				// barrier at that instant would have set it.
+				p.now = reqs[ai].Arrival
+				p.admit(reqs[ai])
+				ai++
+				p.windowAdmits++
+			}
 			if ai >= len(reqs) {
 				return 0, false
 			}
 			return reqs[ai].Arrival, true
 		},
 		func(t sim.Time) {
+			p.barriers++
+			if p.ctr != nil {
+				p.ctr.Instant(coordLane, t, "epoch barrier")
+			}
 			p.now = t
 			for ai < len(reqs) && reqs[ai].Arrival == t {
 				p.admit(reqs[ai])
@@ -171,6 +218,9 @@ func (p *pool) runSharded(reqs []Request, workers int) error {
 			}
 		},
 	)
+	p.epochs = sh.Epochs()
+	p.barrierWait = sh.BarrierWait()
+	return err
 }
 
 // earliestBusy returns the busy blade finishing first (lowest index on

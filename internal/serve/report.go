@@ -55,6 +55,22 @@ type Report struct {
 	LatencyP99 sim.Duration `json:"latency_p99_fs"`
 
 	PerBlade []BladeStats `json:"per_blade"`
+
+	// Coordinator synchronization stats (sharded runs only; zero under
+	// SeqSim). Excluded from JSON: the serialized report must stay
+	// byte-identical across -seqsim, -lookahead on/off, and every
+	// -shards count — these fields describe the schedule, not the
+	// simulation outcome.
+	Epochs       uint64       `json:"-"` // epoch-barrier rounds (final drain included)
+	Barriers     uint64       `json:"-"` // finite-deadline barriers the coordinator paid
+	WindowAdmits int          `json:"-"` // arrivals admitted inside a lookahead window (no barrier)
+	BarrierWait  sim.Duration `json:"-"` // virtual idle imposed by the barrier schedule
+
+	// Coordinator is the coordinator-lane trace (one instant per epoch
+	// barrier) and Sim the synchronization metrics snapshot; both only
+	// with Config.Instrument, both excluded from JSON.
+	Coordinator *trace.Recorder   `json:"-"`
+	Sim         *metrics.Snapshot `json:"-"`
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of the sample by the
@@ -136,6 +152,19 @@ func (p *pool) report(offered float64) *Report {
 	}
 	if served > 0 && lastDone > 0 {
 		r.AchievedRPS = float64(served) / lastDone.Seconds()
+	}
+	r.Epochs = p.epochs
+	r.Barriers = p.barriers
+	r.WindowAdmits = p.windowAdmits
+	r.BarrierWait = p.barrierWait
+	if p.cfg.Instrument {
+		r.Coordinator = p.ctr
+		reg := metrics.NewRegistry()
+		reg.Counter("sim", "epochs").Add(int64(p.epochs))
+		reg.Counter("sim", "barriers").Add(int64(p.barriers))
+		reg.Counter("sim", "barrier_wait").Add(int64(p.barrierWait))
+		reg.Counter("sim", "window_admits").Add(int64(p.windowAdmits))
+		r.Sim = reg.Snapshot()
 	}
 	for _, b := range p.blades {
 		bs := BladeStats{

@@ -101,6 +101,12 @@ type Config struct {
 	// sharded per-blade wheels. Both produce byte-identical reports; the
 	// sequential loop exists as the determinism oracle and fallback.
 	SeqSim bool
+	// NoLookahead disables the conservative lookahead protocol in the
+	// sharded run, restoring an epoch barrier at every distinct arrival
+	// instant. Reports are byte-identical either way; the per-arrival
+	// schedule exists as the oracle for the lookahead coordinator (and
+	// as the slow-but-obvious fallback).
+	NoLookahead bool
 	// FullFidelity re-runs the full machine simulation behind every
 	// dispatch (nested in the dispatching blade's wheel) and fails the
 	// run if any dispatch diverges from the calibration table. This is
@@ -213,7 +219,7 @@ func Run(cfg Config) (*Report, error) {
 	p := newPool(cfg, cal, deadline)
 	if cfg.SeqSim {
 		p.run(reqs)
-	} else if err := p.runSharded(reqs, cfg.Shards); err != nil {
+	} else if err := p.runSharded(reqs, cfg.Shards, !cfg.NoLookahead); err != nil {
 		return nil, fmt.Errorf("serve: sharded run: %w", err)
 	}
 	if err := p.firstVerifyErr(); err != nil {

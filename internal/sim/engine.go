@@ -209,6 +209,37 @@ func (e *Engine) RunUntil(deadline Time) error {
 // processes are abandoned in place; the engine must not be reused afterward.
 func (e *Engine) Halt() { e.halted = true }
 
+// NextEventTime reports the timestamp of the earliest pending event, and
+// whether one exists. It is the engine's lower bound on when its state
+// can next change: no callback or process resume can fire strictly
+// before the returned time. The sharded coordinator uses this between
+// epochs to negotiate a conservative lookahead horizon (see
+// ShardedEngine.Horizon); calling it while the engine is dispatching
+// events is meaningless (the answer is already stale).
+func (e *Engine) NextEventTime() (Time, bool) {
+	best := Never
+	ok := false
+	for i := e.nowHead; i < len(e.nowq); i++ {
+		if e.nowq[i].idx == idxDead {
+			continue
+		}
+		// Lane events all sit at the time they were pushed (== now then);
+		// the engine never travels backward, so the earliest live lane
+		// entry is a valid lower bound.
+		if e.nowq[i].at < best {
+			best = e.nowq[i].at
+		}
+		ok = true
+	}
+	if len(e.queue) > 0 {
+		ok = true
+		if e.queue[0].at < best {
+			best = e.queue[0].at
+		}
+	}
+	return best, ok
+}
+
 // addProc registers a live process (O(1) slice append).
 func (e *Engine) addProc(p *Proc) {
 	p.procIdx = len(e.procs)

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Tests for the conservative-lookahead primitives: Engine.NextEventTime,
+// ShardedEngine.Horizon, the barrier-wait accounting, and the stall
+// bookkeeping the lookahead coordinator leans on.
+
+func TestNextEventTimeEmpty(t *testing.T) {
+	e := NewEngine()
+	if at, ok := e.NextEventTime(); ok {
+		t.Fatalf("empty engine reported a next event at %v", at)
+	}
+}
+
+func TestNextEventTimeHeapAndLane(t *testing.T) {
+	e := NewEngine()
+	e.At(5*Time(Millisecond), func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 5*Time(Millisecond) {
+		t.Fatalf("heap event: got (%v, %v), want (5ms, true)", at, ok)
+	}
+	// An event at the current instant goes to the same-timestamp lane, not
+	// the heap; it must still lower the bound.
+	e.At(0, func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 0 {
+		t.Fatalf("lane event: got (%v, %v), want (0, true)", at, ok)
+	}
+	if err := e.RunUntil(Time(Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := e.NextEventTime(); !ok || at != 5*Time(Millisecond) {
+		t.Fatalf("after draining the lane: got (%v, %v), want (5ms, true)", at, ok)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("drained engine still reports a pending event")
+	}
+}
+
+func TestShardedHorizonMinOverWheels(t *testing.T) {
+	s := NewSharded(3, 1)
+	if h := s.Horizon(); h != Never {
+		t.Fatalf("empty sharded engine horizon %v, want Never", h)
+	}
+	s.Wheel(0).At(3*Time(Millisecond), func() {})
+	s.Wheel(1).At(Time(Millisecond), func() {})
+	// Wheel 2 stays empty: an empty wheel must not drag the horizon down.
+	if h := s.Horizon(); h != Time(Millisecond) {
+		t.Fatalf("horizon %v, want 1ms (min over wheels)", h)
+	}
+}
+
+// TestHorizonScheduleNoDoubleRun pins the boundary semantics the serve
+// coordinator relies on: driving barriers by next() = Horizon() runs an
+// event landing exactly on the horizon exactly once, even when it chains
+// a same-instant successor, and the schedule terminates.
+func TestHorizonScheduleNoDoubleRun(t *testing.T) {
+	s := NewSharded(2, 2)
+	at := Time(Millisecond)
+	counts := map[string]int{}
+	s.Wheel(0).At(at, func() {
+		counts["w0"]++
+		// Same-instant chained successor: lands on the already-passed
+		// horizon, must run in a later epoch without re-running w0.
+		s.Wheel(0).At(at, func() { counts["w0chain"]++ })
+	})
+	s.Wheel(1).At(at, func() { counts["w1"]++ })
+	err := s.Run(func() (Time, bool) {
+		h := s.Horizon()
+		if h == Never {
+			return 0, false
+		}
+		return h, true
+	}, func(Time) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"w0", "w0chain", "w1"} {
+		if counts[k] != 1 {
+			t.Fatalf("event %s ran %d times, want exactly once (counts %v)", k, counts[k], counts)
+		}
+	}
+}
+
+// TestHorizonScheduleStorm fuzzes the horizon negotiation: for seeded
+// event storms, a coordinator that places every barrier on the current
+// horizon must reproduce the drain schedule's per-wheel dispatch logs and
+// event count exactly, at every worker count — in particular no event on
+// the horizon may be double-run or skipped. BarrierWait must also be a
+// pure function of the schedule (identical across worker counts).
+func TestHorizonScheduleStorm(t *testing.T) {
+	run := func(spec stormSpec, seed uint64, workers int, horizonSchedule bool) ([]string, uint64, Duration) {
+		s := NewSharded(spec.wheels, workers)
+		logs := make([][]string, spec.wheels)
+		span := Time(spec.barriers+1) * Time(Millisecond)
+		for w := 0; w < spec.wheels; w++ {
+			rng := stormRand(seed + uint64(w)*0x9e3779b9)
+			for e := 0; e < spec.events; e++ {
+				at := Time(rng.intn(int(span)))
+				depth := rng.intn(spec.chain + 1)
+				step := Duration(1 + rng.intn(int(Millisecond)))
+				var fire func(d int, at Time) func()
+				w, e := w, e
+				fire = func(d int, at Time) func() {
+					return func() {
+						logs[w] = append(logs[w], fmtLog(w, e*100+d, s.Wheel(w).Now()))
+						if d > 0 {
+							s.Wheel(w).At(at.Add(step), fire(d-1, at.Add(step)))
+						}
+					}
+				}
+				s.Wheel(w).At(at, fire(depth, at))
+			}
+		}
+		var err error
+		if horizonSchedule {
+			err = s.Run(func() (Time, bool) {
+				h := s.Horizon()
+				if h == Never {
+					return 0, false
+				}
+				return h, true
+			}, func(Time) {})
+		} else {
+			err = s.Drain()
+		}
+		if err != nil {
+			t.Fatalf("storm (workers=%d, horizon=%v): %v", workers, horizonSchedule, err)
+		}
+		var flat []string
+		for _, l := range logs {
+			flat = append(flat, l...)
+		}
+		return flat, s.EventCount(), s.BarrierWait()
+	}
+
+	specs := []struct {
+		name string
+		spec stormSpec
+		seed uint64
+	}{
+		{"dense", stormSpec{wheels: 3, events: 10, barriers: 4, chain: 3}, 11},
+		{"wide", stormSpec{wheels: 8, events: 5, barriers: 2, chain: 2}, 20070710},
+		{"collisions", stormSpec{wheels: 2, events: 16, barriers: 1, chain: 1}, 5},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			refLog, refCount, _ := run(tc.spec, tc.seed, 1, false)
+			if len(refLog) == 0 {
+				t.Fatal("degenerate storm: no events dispatched")
+			}
+			var wait Duration
+			for i, workers := range []int{1, 2, 8} {
+				log, count, w := run(tc.spec, tc.seed, workers, true)
+				if count != refCount {
+					t.Fatalf("workers=%d horizon schedule dispatched %d events, want %d (double-run or skip on the horizon)",
+						workers, count, refCount)
+				}
+				if !reflect.DeepEqual(log, refLog) {
+					t.Fatalf("workers=%d horizon schedule diverged from drain:\n got %v\nwant %v", workers, log, refLog)
+				}
+				if i == 0 {
+					wait = w
+				} else if w != wait {
+					t.Fatalf("workers=%d barrier wait %v, want %v (must be schedule-determined)", workers, w, wait)
+				}
+			}
+		})
+	}
+}
+
+func fmtLog(w, id int, at Time) string {
+	return string(rune('a'+w)) + "#" + itoa(id) + "@" + itoa(int(at))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestShardedStallEpochClearsOnResolve is the note-reset regression test:
+// a wheel that stalls mid-run, is resolved by the coordinator, and later
+// deadlocks for good must report the *final* epoch, not the long-resolved
+// first stall.
+func TestShardedStallEpochClearsOnResolve(t *testing.T) {
+	s := NewSharded(2, 1)
+	q := NewQueue("work")
+	q2 := NewQueue("never-signalled")
+	s.Wheel(0).Spawn("worker", func(p *Proc) {
+		p.Wait(q) // stalls in epoch 1, resolved at its barrier
+		p.Sleep(10 * Millisecond)
+		p.Wait(q2) // permanent: no one ever signals q2
+	})
+	// Wheel 1 has real work so every epoch advances something.
+	s.Wheel(1).At(Time(Millisecond), func() {})
+	s.Wheel(1).At(3*Time(Millisecond), func() {})
+
+	barriers := []Time{Time(Millisecond), 2 * Time(Millisecond)}
+	bi := 0
+	err := s.Run(func() (Time, bool) {
+		if bi >= len(barriers) {
+			return 0, false
+		}
+		bt := barriers[bi]
+		bi++
+		return bt, true
+	}, func(at Time) {
+		if at == barriers[0] {
+			q.WakeOne(s.Wheel(0)) // resolve the first stall
+		}
+	})
+	if err == nil {
+		t.Fatal("expected the final drain to surface the permanent deadlock")
+	}
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("error type %T, want *DeadlockError", err)
+	}
+	// Epoch 1: stall on q (recorded). Epoch 2: resumed, sleeping past the
+	// barrier — the stall record must clear here. Epoch 3 (final drain):
+	// the permanent stall on q2. A stale record would report epoch 1.
+	if de.Epoch != 3 || de.Barrier != Never {
+		t.Fatalf("deadlock reported epoch %d barrier %v, want epoch 3 barrier Never (stale stall record not cleared)",
+			de.Epoch, de.Barrier)
+	}
+}
+
+// TestBarrierWaitAccounting checks the accumulated virtual idle metric on
+// a hand-computable schedule.
+func TestBarrierWaitAccounting(t *testing.T) {
+	s := NewSharded(2, 1)
+	s.Wheel(0).At(2*Time(Millisecond), func() {})
+	s.Wheel(1).At(5*Time(Millisecond), func() {})
+	fired := false
+	err := s.Run(func() (Time, bool) {
+		if fired {
+			return 0, false
+		}
+		fired = true
+		return 6 * Time(Millisecond), true
+	}, func(Time) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wheel 0 quiesces at 2ms (waits 4ms), wheel 1 at 5ms (waits 1ms); the
+	// final drain has no finite deadline and adds nothing.
+	if want := 5 * Millisecond; s.BarrierWait() != want {
+		t.Fatalf("barrier wait %v, want %v", s.BarrierWait(), want)
+	}
+}

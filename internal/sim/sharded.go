@@ -34,13 +34,25 @@ type ShardedEngine struct {
 	epoch   uint64 // barrier rounds started (the final drain counts as one)
 	barrier Time   // deadline of the current/last epoch (Never for the drain)
 
+	// barrierWait accumulates the virtual idle time each barrier imposes:
+	// the sum over wheels of (barrier deadline − wheel clock) when the
+	// wheel quiesced before the deadline. It measures how pessimistic the
+	// barrier schedule is — a lookahead coordinator exists to shrink it.
+	barrierWait Duration
+
 	// stalled records, per wheel, the epoch at which the wheel last drained
 	// its queue with processes still blocked (a would-be deadlock that the
 	// coordinator may still resolve by injecting events at a barrier).
-	stalled []struct {
-		epoch   uint64
-		barrier Time
-	}
+	stalled []wheelStall
+}
+
+// wheelStall is one wheel's recorded mid-epoch stall: the epoch and
+// barrier deadline at which the wheel first drained its queue with
+// processes still blocked. A zero epoch means "not stalled"; note clears
+// the record when a later epoch resolves the stall.
+type wheelStall struct {
+	epoch   uint64
+	barrier Time
 }
 
 // NewSharded builds a sharded engine with the given number of wheels.
@@ -59,10 +71,7 @@ func NewSharded(wheels, workers int) *ShardedEngine {
 	for i := range s.wheels {
 		s.wheels[i] = NewEngine()
 	}
-	s.stalled = make([]struct {
-		epoch   uint64
-		barrier Time
-	}, wheels)
+	s.stalled = make([]wheelStall, wheels)
 	return s
 }
 
@@ -85,6 +94,33 @@ func (s *ShardedEngine) EventCount() uint64 {
 
 // Epochs reports how many epochs have started (the final drain included).
 func (s *ShardedEngine) Epochs() uint64 { return s.epoch }
+
+// BarrierWait reports the accumulated virtual idle time the barrier
+// schedule has imposed so far: for every finished epoch with a finite
+// deadline, the sum over wheels of how far short of the deadline each
+// wheel's clock stopped. Purely a function of the schedule and the
+// events, so it is byte-identical at any worker count.
+func (s *ShardedEngine) BarrierWait() Duration { return s.barrierWait }
+
+// Horizon reports the engine's conservative lookahead bound: the
+// earliest pending event time across all wheels (min over wheels, taken
+// in wheel-index order), or Never when every wheel is empty. While the
+// wheels are quiescent — i.e. from the coordinator's next/barrier
+// callbacks — nothing in the simulation can happen strictly before the
+// horizon, so any external event (an arrival, an injection) with a
+// timestamp strictly below it may be committed immediately without
+// running an epoch: no wheel event can intervene. Scheduling new wheel
+// events moves the horizon, so callers interleaving queries with
+// injections must re-query after each one.
+func (s *ShardedEngine) Horizon() Time {
+	h := Never
+	for _, w := range s.wheels {
+		if t, ok := w.NextEventTime(); ok && t < h {
+			h = t
+		}
+	}
+	return h
+}
 
 // Run executes the epoch-barrier protocol:
 //
@@ -117,6 +153,13 @@ func (s *ShardedEngine) Run(next func() (Time, bool), barrier func(t Time)) erro
 		s.epoch++
 		s.barrier = t
 		s.note(s.runEpoch(t))
+		if t != Never {
+			for _, w := range s.wheels {
+				if now := w.Now(); now < t {
+					s.barrierWait += t.Sub(now)
+				}
+			}
+		}
 		barrier(t)
 	}
 }
