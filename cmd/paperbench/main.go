@@ -11,15 +11,18 @@
 //	paperbench -exp hosts        # §5.2 reference-machine ratios
 //	paperbench -exp faults       # fault injection + self-healing runtime
 //	paperbench -exp serve        # multi-blade serving layer, estimator vs RR
+//	paperbench -exp chaos        # blade lifecycle: seeded rolling restarts,
+//	                             # crash/stall/drain, re-routing vs baseline
 //	paperbench -quick            # reduced frames/sets for a fast pass
 //	paperbench -parallel 4       # worker pool for independent runs
 //	paperbench -nocache          # recompute artifacts per run (cold path)
 //	paperbench -json out.json    # machine-readable sidecar ("-" = stdout)
 //	paperbench -trace out.json   # Chrome trace (load at ui.perfetto.dev)
 //	paperbench -metrics m.json   # flat per-run metrics dump
-//	paperbench -faults <spec>    # explicit fault plan (-exp faults|serve)
-//	                             # (e.g. "crash:spe=0,at=5ms;dma-drop:spe=1,n=3")
-//	paperbench -faultseed 7      # seed-derived fault plan (-exp faults|serve)
+//	paperbench -faults <spec>    # explicit fault plan (-exp faults|serve|chaos)
+//	                             # (e.g. "crash:spe=0,at=5ms;blade-crash:blade=1,at=2s")
+//	paperbench -faultseed 7      # seed-derived fault plan (-exp faults|serve|chaos)
+//	paperbench -watchdog 250ms   # supervision watchdog override (-exp faults|serve|chaos)
 //	paperbench -rate 2.5         # serve: offered load, × estimated capacity
 //	paperbench -blades 4         # serve: blade-pool size
 //	paperbench -deadline 250     # serve: per-request deadline, virtual ms (<0 = none)
@@ -67,6 +70,8 @@ import (
 
 	"cellport/internal/atomicfile"
 	"cellport/internal/experiments"
+	"cellport/internal/fault"
+	"cellport/internal/sim"
 )
 
 // jsonEntry is one experiment's machine-readable record. Epochs (serve
@@ -83,10 +88,10 @@ type jsonEntry struct {
 // experimentNames lists every -exp value, in execution order.
 var experimentNames = []string{
 	"table1", "naive", "fig6", "fig7", "eqns", "profile", "hosts",
-	"scaling", "pipeline", "overhead", "faults", "serve",
+	"scaling", "pipeline", "overhead", "faults", "serve", "chaos",
 }
 
-const usageHint = "usage: paperbench [-exp all|table1|naive|fig6|fig7|eqns|profile|hosts|scaling|pipeline|overhead|faults|serve] [-quick] [-parallel N] [-json F] [-trace F] [-metrics F] (run with -help for all flags)"
+const usageHint = "usage: paperbench [-exp all|table1|naive|fig6|fig7|eqns|profile|hosts|scaling|pipeline|overhead|faults|serve|chaos] [-quick] [-parallel N] [-json F] [-trace F] [-metrics F] (run with -help for all flags)"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -102,6 +107,7 @@ type options struct {
 	nocache     bool
 	faultSpec   string
 	faultSeed   uint64
+	watchdog    string
 	tracePath   string
 	metricsPath string
 	rate        float64
@@ -118,6 +124,9 @@ type options struct {
 	benchFresh  bool
 	benchDir    string
 
+	// watchdogDur is -watchdog parsed by validate (fault.ParseDuration).
+	watchdogDur sim.Duration
+
 	set map[string]bool // flags explicitly given on the command line
 }
 
@@ -127,14 +136,15 @@ func parseFlags(args []string, errw io.Writer) (*options, int) {
 	o := &options{}
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	fs.StringVar(&o.exp, "exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults|serve")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults|serve|chaos")
 	fs.BoolVar(&o.quick, "quick", false, "reduced frame size and image sets")
 	fs.StringVar(&o.jsonPath, "json", "", "write machine-readable results to this path (\"-\" for stdout)")
 	fs.Uint64Var(&o.seed, "seed", 20070710, "workload seed")
 	fs.IntVar(&o.parallel, "parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	fs.BoolVar(&o.nocache, "nocache", false, "recompute workload artifacts for every run (cold-path calibration)")
-	fs.StringVar(&o.faultSpec, "faults", "", "explicit fault plan for -exp faults|serve (kind:spe=N,...;... — see internal/fault)")
-	fs.Uint64Var(&o.faultSeed, "faultseed", 0, "seed for a derived fault plan when -faults is empty (0 = seed 1; -exp faults|serve)")
+	fs.StringVar(&o.faultSpec, "faults", "", "explicit fault plan for -exp faults|serve|chaos (kind:spe=N,...;... — see internal/fault)")
+	fs.Uint64Var(&o.faultSeed, "faultseed", 0, "seed for a derived fault plan when -faults is empty (0 = seed 1; -exp faults|serve|chaos)")
+	fs.StringVar(&o.watchdog, "watchdog", "", "supervision watchdog timeout override, fault duration grammar e.g. 250ms (-exp faults|serve|chaos)")
 	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace (Perfetto-loadable) of every instrumented run to this path")
 	fs.StringVar(&o.metricsPath, "metrics", "", "write per-run metrics JSON to this path")
 	fs.Float64Var(&o.rate, "rate", 0, "serve: offered load as a multiple of estimated pool capacity (default 2)")
@@ -190,15 +200,25 @@ func (o *options) validate() string {
 		}
 		return false
 	}
-	for _, f := range []string{"faults", "faultseed"} {
-		if o.set[f] && !expSelects("faults", "serve") {
-			return fmt.Sprintf("-%s only applies to -exp faults or -exp serve, not -exp %s", f, o.exp)
+	for _, f := range []string{"faults", "faultseed", "watchdog"} {
+		if o.set[f] && !expSelects("faults", "serve", "chaos") {
+			return fmt.Sprintf("-%s only applies to -exp faults, serve or chaos, not -exp %s", f, o.exp)
 		}
 	}
 	for _, f := range []string{"rate", "blades", "deadline", "servesed", "burst", "shards", "seqsim", "lookahead", "fullsim"} {
-		if o.set[f] && !expSelects("serve") {
-			return fmt.Sprintf("-%s only applies to -exp serve, not -exp %s", f, o.exp)
+		if o.set[f] && !expSelects("serve", "chaos") {
+			return fmt.Sprintf("-%s only applies to -exp serve or -exp chaos, not -exp %s", f, o.exp)
 		}
+	}
+	if o.set["watchdog"] {
+		d, err := fault.ParseDuration(o.watchdog)
+		if err != nil {
+			return fmt.Sprintf("bad -watchdog: %v", err)
+		}
+		if d <= 0 {
+			return fmt.Sprintf("-watchdog must be positive, got %q", o.watchdog)
+		}
+		o.watchdogDur = d
 	}
 	if o.shards < 0 {
 		return fmt.Sprintf("-shards must be >= 0, got %d", o.shards)
@@ -288,7 +308,7 @@ func run(args []string, out, errw io.Writer) int {
 
 func runExperiments(o *options, out, errw io.Writer) int {
 	cfg := experiments.Config{Quick: o.quick, Seed: o.seed, Parallel: o.parallel, NoCache: o.nocache,
-		FaultSpec: o.faultSpec, FaultSeed: o.faultSeed,
+		FaultSpec: o.faultSpec, FaultSeed: o.faultSeed, Watchdog: o.watchdogDur,
 		Serve: experiments.ServeConfig{
 			Blades:     o.blades,
 			Rate:       o.rate,
@@ -435,6 +455,14 @@ func runExperiments(o *options, out, errw io.Writer) int {
 		render(func() { experiments.RenderServe(out, r) })
 		return r, nil
 	})
+	runExp("chaos", func() (any, error) {
+		r, err := experiments.ChaosExp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		render(func() { experiments.RenderChaos(out, r) })
+		return r, nil
+	})
 
 	if failed {
 		return 1
@@ -446,6 +474,12 @@ func runExperiments(o *options, out, errw io.Writer) int {
 		if sr, isServe := e.Data.(*experiments.ServeResult); isServe {
 			e.Epochs = sr.Epochs
 			jsonDoc["serve"] = e
+		}
+	}
+	if e, ok := jsonDoc["chaos"]; ok {
+		if cr, isChaos := e.Data.(*experiments.ChaosResult); isChaos {
+			e.Epochs = cr.Epochs
+			jsonDoc["chaos"] = e
 		}
 	}
 

@@ -33,6 +33,13 @@ func TestFlagValidationMatrix(t *testing.T) {
 		{"seqsim with wrong exp", []string{"-exp", "table1", "-seqsim"}, 2, "-seqsim only applies"},
 		{"fullsim with wrong exp", []string{"-exp", "eqns", "-fullsim"}, 2, "-fullsim only applies"},
 		{"negative shards", []string{"-exp", "serve", "-shards", "-1"}, 2, "-shards must be >= 0"},
+		{"watchdog with wrong exp", []string{"-exp", "table1", "-watchdog", "250ms"}, 2, "-watchdog only applies"},
+		{"watchdog bad duration", []string{"-exp", "faults", "-watchdog", "soon"}, 2, "bad -watchdog"},
+		{"watchdog zero", []string{"-exp", "faults", "-watchdog", "0ms"}, 2, "-watchdog must be positive"},
+		{"serve flags with chaos exp", []string{"-exp", "chaos", "-rate", "2", "-blades", "8", "-shards", "4"}, -1, ""},
+		{"faults flag with chaos exp", []string{"-exp", "chaos", "-faults", "blade-crash:blade=0,at=5ms"}, -1, ""},
+		{"watchdog with faults exp", []string{"-exp", "faults", "-watchdog", "250ms"}, -1, ""},
+		{"watchdog with chaos exp", []string{"-exp", "chaos", "-watchdog", "1s"}, -1, ""},
 		{"bench-refresh with exp", []string{"-bench-refresh", "-exp", "serve"}, 2, "incompatible with -exp"},
 		{"bench-refresh with json", []string{"-bench-refresh", "-json", "x.json"}, 2, "incompatible with -json"},
 		{"bench-refresh with profile", []string{"-bench-refresh", "-cpuprofile", "cpu.pb"}, 2, "incompatible with -cpuprofile"},
@@ -194,6 +201,55 @@ func TestRunShardedMatchesSeqSimCLI(t *testing.T) {
 		if string(got["serve"]) != string(seq["serve"]) {
 			t.Fatalf("%s diverged from -seqsim:\n got %s\nwant %s", v.name, got["serve"], seq["serve"])
 		}
+	}
+}
+
+// TestRunChaosMatchesSeqSimCLI checks the chaos experiment end to end:
+// the seeded blade-lifecycle schedule must produce identical experiment
+// data through the CLI on the sharded wheels and the sequential
+// reference loop, and the chaos run's ledger must conserve.
+func TestRunChaosMatchesSeqSimCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full serve calibration")
+	}
+	dir := t.TempDir()
+	invoke := func(name string, extra ...string) map[string]json.RawMessage {
+		jsonPath := filepath.Join(dir, name+".json")
+		args := append([]string{"-quick", "-exp", "chaos", "-servesed", "7",
+			"-json", jsonPath}, extra...)
+		var out, errw bytes.Buffer
+		if status := run(args, &out, &errw); status != 0 {
+			t.Fatalf("%s: status %d, stderr: %s", name, status, errw.String())
+		}
+		return experimentData(t, readFileT(t, jsonPath))
+	}
+	seq := invoke("seq", "-seqsim")
+	sharded := invoke("shards8", "-shards", "8")
+	if string(sharded["chaos"]) != string(seq["chaos"]) {
+		t.Fatalf("-shards 8 diverged from -seqsim:\n got %s\nwant %s", sharded["chaos"], seq["chaos"])
+	}
+	var res struct {
+		Spec  string `json:"spec"`
+		Chaos struct {
+			Requests      int `json:"requests"`
+			Served        int `json:"served"`
+			ShedRejected  int `json:"shed_rejected"`
+			ShedExpired   int `json:"shed_expired"`
+			ShedRerouted  int `json:"shed_rerouted"`
+			ShedExhausted int `json:"shed_exhausted"`
+			BladeCrashes  int `json:"blade_crashes"`
+		} `json:"chaos"`
+	}
+	if err := json.Unmarshal(seq["chaos"], &res); err != nil {
+		t.Fatalf("chaos data did not parse: %v", err)
+	}
+	if res.Spec == "" || res.Chaos.BladeCrashes == 0 {
+		t.Fatalf("chaos run fired no blade crash: %s", seq["chaos"])
+	}
+	sum := res.Chaos.Served + res.Chaos.ShedRejected + res.Chaos.ShedExpired +
+		res.Chaos.ShedRerouted + res.Chaos.ShedExhausted
+	if sum != res.Chaos.Requests {
+		t.Fatalf("chaos ledger leaks: %d != %d requests", sum, res.Chaos.Requests)
 	}
 }
 

@@ -39,6 +39,9 @@ type Config struct {
 	// FaultSeed seeds the derived fault plan when FaultSpec is empty
 	// (0 selects seed 1).
 	FaultSeed uint64
+	// Watchdog overrides the supervision watchdog timeout in every
+	// fault-armed run (paperbench -watchdog; 0 keeps the default).
+	Watchdog sim.Duration
 	// Collect, when non-nil, arms per-run observability: every ported run
 	// gets a private trace recorder and metrics registry, and its
 	// artifacts are gathered under a run label (see Collector). Nil keeps

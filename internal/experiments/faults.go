@@ -61,6 +61,7 @@ func FaultsExp(cfg Config) (*FaultsResult, error) {
 		pc := cfg.ported(w, marvel.MultiSPE, marvel.Optimized)
 		pc.Validate = true
 		pc.Faults = p
+		pc.Watchdog = cfg.Watchdog
 		return cfg.runPorted(label, pc)
 	}
 	runs, err := RunWheels(cfg.workers(), 3, func(i int) (*marvel.PortedResult, error) {

@@ -67,6 +67,7 @@ func (c Config) serveBase() (serve.Config, error) {
 		Frame:         frame,
 		Variant:       marvel.Optimized,
 		MachineConfig: MachineConfig(),
+		Watchdog:      c.Watchdog,
 		Parallel:      c.workers(),
 		Shards:        c.Shards,
 		SeqSim:        c.SeqSim,

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"cellport/internal/marvel"
+	"cellport/internal/sim"
+)
+
+// TestFaultsExpWatchdogOverride pins the -watchdog plumbing end to end:
+// a dropped DMA hangs one kernel invocation until the watchdog fires, so
+// shrinking the watchdog from the 50ms default to 2ms recovers the run
+// strictly faster while both runs record the timeout.
+func TestFaultsExpWatchdogOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six MultiSPE simulations")
+	}
+	measure := func(wd sim.Duration) *FaultsResult {
+		t.Helper()
+		cfg := Config{
+			Quick:     true,
+			Seed:      20070710,
+			Parallel:  4,
+			Artifacts: marvel.NewArtifactCache(),
+			FaultSpec: "dma-drop:spe=0,n=1",
+			Watchdog:  wd,
+		}
+		res, err := FaultsExp(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.WatchdogTimeouts < 1 {
+			t.Fatalf("watchdog %v: no timeout recorded for the hung DMA: %+v", wd, res.Report)
+		}
+		return res
+	}
+	slow := measure(0) // DefaultWatchdog
+	fast := measure(2 * sim.Millisecond)
+	if fast.Faulted >= slow.Faulted {
+		t.Fatalf("2ms watchdog did not recover faster: %v vs default %v", fast.Faulted, slow.Faulted)
+	}
+}
+
+// TestServeBaseWatchdogPlumbed checks the serve/chaos path carries the
+// override into every dispatch simulation's config.
+func TestServeBaseWatchdogPlumbed(t *testing.T) {
+	cfg := serveTestConfig(1)
+	cfg.Watchdog = 250 * sim.Microsecond
+	base, err := cfg.serveBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Watchdog != cfg.Watchdog {
+		t.Fatalf("serve base watchdog %v, want %v", base.Watchdog, cfg.Watchdog)
+	}
+}

@@ -42,14 +42,43 @@ const (
 	// LSOverflow makes the Nth local-store allocation on the SPE fail
 	// once (soft overflow: transient allocation pressure).
 	LSOverflow
+
+	// Fleet-level kinds. These target a whole serving blade, not one SPE
+	// of one machine: they are consumed by the serve pool's blade
+	// lifecycle (DESIGN.md §12), never by the per-machine Injector, which
+	// skips them. Plan.MachineFaults / Plan.FleetFaults split a mixed plan
+	// into the two audiences.
+
+	// BladeCrash kills blade Blade at virtual time At: its queued and
+	// in-flight requests are re-routed (or shed with an attributed
+	// reason) and the blade never serves again.
+	BladeCrash
+	// BladeStall freezes blade Blade at virtual time At for Delay: the
+	// blade admits nothing during the stall and its in-flight dispatch
+	// finishes Delay late.
+	BladeStall
+	// BladeRestart begins a rolling restart of blade Blade at virtual
+	// time At: the blade drains (no new admissions) for the Drain window,
+	// then anything still unfinished is re-routed and the blade comes
+	// back cold (warmup re-charged).
+	BladeRestart
 )
 
 var kindNames = [...]string{
-	CrashSPE:   "crash",
-	DMADrop:    "dma-drop",
-	DMACorrupt: "dma-corrupt",
-	MboxStall:  "mbox-stall",
-	LSOverflow: "ls-overflow",
+	CrashSPE:     "crash",
+	DMADrop:      "dma-drop",
+	DMACorrupt:   "dma-corrupt",
+	MboxStall:    "mbox-stall",
+	LSOverflow:   "ls-overflow",
+	BladeCrash:   "blade-crash",
+	BladeStall:   "blade-stall",
+	BladeRestart: "blade-restart",
+}
+
+// FleetLevel reports whether the kind targets a serving blade (consumed
+// by the serve pool) rather than the simulated machine.
+func (k Kind) FleetLevel() bool {
+	return k == BladeCrash || k == BladeStall || k == BladeRestart
 }
 
 func (k Kind) String() string {
@@ -71,15 +100,20 @@ func parseKind(s string) (Kind, error) {
 // Fault is one planned fault.
 type Fault struct {
 	Kind Kind
-	// SPE selects the target SPE index.
+	// SPE selects the target SPE index (machine-level kinds).
 	SPE int
-	// At is the trigger time for CrashSPE.
+	// Blade selects the target blade index (fleet-level kinds).
+	Blade int
+	// At is the trigger time for CrashSPE and the fleet-level kinds.
 	At sim.Time
 	// Nth is the 1-based operation count that triggers the count-based
 	// kinds (DMA command, mailbox write, or LS allocation on the SPE).
 	Nth uint64
-	// Delay is the stall length for MboxStall.
+	// Delay is the stall length for MboxStall and BladeStall.
 	Delay sim.Duration
+	// Drain is the BladeRestart drain window: virtual time the blade
+	// keeps working its queue after admissions stop, before the kill.
+	Drain sim.Duration
 }
 
 // String renders the fault in the canonical spec grammar.
@@ -89,6 +123,12 @@ func (f Fault) String() string {
 		return fmt.Sprintf("crash:spe=%d,at=%s", f.SPE, formatDur(sim.Duration(f.At)))
 	case MboxStall:
 		return fmt.Sprintf("%s:spe=%d,n=%d,delay=%s", f.Kind, f.SPE, f.Nth, formatDur(f.Delay))
+	case BladeCrash:
+		return fmt.Sprintf("blade-crash:blade=%d,at=%s", f.Blade, formatDur(sim.Duration(f.At)))
+	case BladeStall:
+		return fmt.Sprintf("blade-stall:blade=%d,at=%s,delay=%s", f.Blade, formatDur(sim.Duration(f.At)), formatDur(f.Delay))
+	case BladeRestart:
+		return fmt.Sprintf("blade-restart:blade=%d,at=%s,drain=%s", f.Blade, formatDur(sim.Duration(f.At)), formatDur(f.Drain))
 	default:
 		return fmt.Sprintf("%s:spe=%d,n=%d", f.Kind, f.SPE, f.Nth)
 	}
@@ -102,6 +142,41 @@ type Plan struct {
 
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// MachineFaults returns the machine-level subset of the plan (the kinds
+// the per-machine Injector consumes), preserving order. A plan with no
+// machine faults yields nil, so a purely fleet-level plan leaves the
+// machine runtime on its exact fault-free paths.
+func (p *Plan) MachineFaults() *Plan {
+	if p == nil {
+		return nil
+	}
+	var sub *Plan
+	for _, f := range p.Faults {
+		if !f.Kind.FleetLevel() {
+			if sub == nil {
+				sub = &Plan{}
+			}
+			sub.Faults = append(sub.Faults, f)
+		}
+	}
+	return sub
+}
+
+// FleetFaults returns the fleet-level subset of the plan (blade
+// lifecycle kinds consumed by the serve pool), preserving order.
+func (p *Plan) FleetFaults() []Fault {
+	if p == nil {
+		return nil
+	}
+	var sub []Fault
+	for _, f := range p.Faults {
+		if f.Kind.FleetLevel() {
+			sub = append(sub, f)
+		}
+	}
+	return sub
+}
 
 // String renders the plan in the spec grammar accepted by Parse.
 func (p *Plan) String() string {
@@ -119,9 +194,11 @@ func (p *Plan) String() string {
 // the form kind:key=value,key=value. For example:
 //
 //	crash:spe=1,at=2ms;dma-drop:spe=0,n=3;dma-corrupt:spe=2,n=1;
-//	mbox-stall:spe=3,n=2,delay=500us;ls-overflow:spe=0,n=1
+//	mbox-stall:spe=3,n=2,delay=500us;ls-overflow:spe=0,n=1;
+//	blade-restart:blade=2,at=40ms,drain=5ms;blade-crash:blade=0,at=60ms
 //
-// Durations take an ns/us/ms/s suffix. An empty spec is an empty plan.
+// Machine-level kinds take spe=, fleet-level kinds blade=. Durations
+// take an fs/ns/us/ms/s suffix. An empty spec is an empty plan.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, entry := range strings.Split(spec, ";") {
@@ -134,8 +211,8 @@ func Parse(spec string) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		f := Fault{Kind: kind, SPE: -1}
-		var haveAt, haveN, haveDelay bool
+		f := Fault{Kind: kind, SPE: -1, Blade: -1}
+		var haveAt, haveN, haveDelay, haveDrain bool
 		for _, kv := range strings.Split(args, ",") {
 			kv = strings.TrimSpace(kv)
 			if kv == "" {
@@ -152,6 +229,12 @@ func Parse(spec string) (*Plan, error) {
 					return nil, fmt.Errorf("fault: %q: bad SPE index %q", entry, val)
 				}
 				f.SPE = n
+			case "blade":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: %q: bad blade index %q", entry, val)
+				}
+				f.Blade = n
 			case "at":
 				d, err := parseDur(val)
 				if err != nil {
@@ -173,12 +256,27 @@ func Parse(spec string) (*Plan, error) {
 				}
 				f.Delay = d
 				haveDelay = true
+			case "drain":
+				d, err := parseDur(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: %q: %w", entry, err)
+				}
+				f.Drain = d
+				haveDrain = true
 			default:
 				return nil, fmt.Errorf("fault: %q: unknown key %q", entry, key)
 			}
 		}
-		if f.SPE < 0 {
-			return nil, fmt.Errorf("fault: %q: missing spe=", entry)
+		if kind.FleetLevel() {
+			if f.Blade < 0 {
+				return nil, fmt.Errorf("fault: %q: missing blade=", entry)
+			}
+			f.SPE = 0
+		} else {
+			if f.SPE < 0 {
+				return nil, fmt.Errorf("fault: %q: missing spe=", entry)
+			}
+			f.Blade = 0
 		}
 		switch kind {
 		case CrashSPE:
@@ -188,6 +286,18 @@ func Parse(spec string) (*Plan, error) {
 		case MboxStall:
 			if !haveN || !haveDelay {
 				return nil, fmt.Errorf("fault: %q: mbox-stall needs n= and delay=", entry)
+			}
+		case BladeCrash:
+			if !haveAt {
+				return nil, fmt.Errorf("fault: %q: blade-crash needs at=<time>", entry)
+			}
+		case BladeStall:
+			if !haveAt || !haveDelay {
+				return nil, fmt.Errorf("fault: %q: blade-stall needs at= and delay=", entry)
+			}
+		case BladeRestart:
+			if !haveAt || !haveDrain {
+				return nil, fmt.Errorf("fault: %q: blade-restart needs at= and drain=", entry)
 			}
 		default:
 			if !haveN {
@@ -199,7 +309,9 @@ func Parse(spec string) (*Plan, error) {
 	return p, nil
 }
 
-// parseDur parses a duration with an ns/us/ms/s suffix.
+// parseDur parses a duration with an fs/ns/us/ms/s suffix. Integral
+// counts are converted exactly (no float rounding), so any value
+// formatDur emits parses back bit-for-bit.
 func parseDur(s string) (sim.Duration, error) {
 	units := []struct {
 		suffix string
@@ -208,22 +320,42 @@ func parseDur(s string) (sim.Duration, error) {
 		{"ns", sim.Nanosecond},
 		{"us", sim.Microsecond},
 		{"ms", sim.Millisecond},
+		{"fs", sim.Femtosecond},
 		{"s", sim.Second},
 	}
 	for _, u := range units {
-		if num, ok := strings.CutSuffix(s, u.suffix); ok {
-			v, err := strconv.ParseFloat(num, 64)
-			if err != nil || v < 0 {
+		num, ok := strings.CutSuffix(s, u.suffix)
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseInt(num, 10, 64); err == nil {
+			if v < 0 || v > int64(1<<63-1)/int64(u.unit) {
 				return 0, fmt.Errorf("bad duration %q", s)
 			}
-			return sim.Duration(v * float64(u.unit)), nil
+			return sim.Duration(v) * u.unit, nil
 		}
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q", s)
+		}
+		scaled := v * float64(u.unit)
+		// The range check also rejects NaN and ±Inf (every comparison
+		// with NaN is false).
+		if !(scaled >= 0 && scaled < float64(1<<63)) {
+			return 0, fmt.Errorf("bad duration %q", s)
+		}
+		return sim.Duration(scaled), nil
 	}
-	return 0, fmt.Errorf("duration %q needs an ns/us/ms/s suffix", s)
+	return 0, fmt.Errorf("duration %q needs an fs/ns/us/ms/s suffix", s)
 }
 
+// ParseDuration parses a virtual-time duration in the plan grammar's
+// fs/ns/us/ms/s syntax (exported for CLI flags like -watchdog).
+func ParseDuration(s string) (sim.Duration, error) { return parseDur(s) }
+
 // formatDur renders a duration exactly, using the largest suffix that
-// divides it (so Parse round-trips the value bit-for-bit).
+// divides it (so Parse round-trips the value bit-for-bit; sub-ns
+// remainders fall through to the native femtosecond unit).
 func formatDur(d sim.Duration) string {
 	switch {
 	case d%sim.Second == 0 && d != 0:
@@ -232,8 +364,10 @@ func formatDur(d sim.Duration) string {
 		return fmt.Sprintf("%dms", d/sim.Millisecond)
 	case d%sim.Microsecond == 0 && d != 0:
 		return fmt.Sprintf("%dus", d/sim.Microsecond)
-	default:
+	case d%sim.Nanosecond == 0:
 		return fmt.Sprintf("%dns", d/sim.Nanosecond)
+	default:
+		return fmt.Sprintf("%dfs", d)
 	}
 }
 
@@ -266,5 +400,42 @@ func Seeded(seed uint64, numSPEs int) *Plan {
 		{Kind: DMACorrupt, SPE: r.intn(numSPEs), Nth: uint64(1 + r.intn(8))},
 		{Kind: MboxStall, SPE: r.intn(numSPEs), Nth: uint64(1 + r.intn(4)), Delay: sim.Duration(100+r.intn(900)) * sim.Microsecond},
 		{Kind: LSOverflow, SPE: r.intn(numSPEs), Nth: uint64(1 + r.intn(4))},
+	}}
+}
+
+// SeededFleet derives a fleet-level chaos schedule from a seed: a
+// rolling-restart wave across distinct blades, one blade crash, and one
+// transient stall, with trigger points spread over the given span (the
+// expected busy window of the run). Targets are a seeded permutation of
+// the blade indices so small fleets still exercise distinct blades. The
+// same (seed, blades, span) triple always yields the same plan.
+func SeededFleet(seed uint64, blades int, span sim.Duration) *Plan {
+	if blades <= 0 || span <= 0 {
+		return &Plan{}
+	}
+	r := splitmix64(seed)
+	// Fisher-Yates over the blade indices, driven by the same stream.
+	perm := make([]int, blades)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := blades - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	target := func(i int) int { return perm[i%blades] }
+	// Trigger points in percent of the span, jittered by the seed; the
+	// quantum divides exactly so every instant round-trips through the
+	// grammar bit-for-bit.
+	q := span / 100
+	if q <= 0 {
+		q = 1
+	}
+	at := func(pct int) sim.Time { return sim.Time(sim.Duration(pct) * q) }
+	return &Plan{Faults: []Fault{
+		{Kind: BladeRestart, Blade: target(0), At: at(15 + r.intn(10)), Drain: 8 * q},
+		{Kind: BladeRestart, Blade: target(1), At: at(35 + r.intn(10)), Drain: 8 * q},
+		{Kind: BladeCrash, Blade: target(2), At: at(52 + r.intn(10))},
+		{Kind: BladeStall, Blade: target(3), At: at(68 + r.intn(10)), Delay: sim.Duration(4+r.intn(4)) * q},
 	}}
 }

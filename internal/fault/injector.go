@@ -74,8 +74,14 @@ func NewInjector(e *sim.Engine, p *Plan, numSPEs int) *Injector {
 	}
 	if p != nil {
 		in.rep.Spec = p.String()
-		in.rep.Planned = len(p.Faults)
 		for _, f := range p.Faults {
+			// Fleet-level kinds target whole blades, not this machine;
+			// they are consumed by the serve pool's lifecycle layer and
+			// must stay inert here.
+			if f.Kind.FleetLevel() {
+				continue
+			}
+			in.rep.Planned++
 			in.pending = append(in.pending, pendingFault{Fault: f})
 		}
 	}

@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"cellport/internal/sim"
+)
+
+// genFault draws one canonical fault of any kind from a splitmix64
+// stream. "Canonical" means the fields irrelevant to the kind stay at
+// their Parse-normalized values (SPE 0 for fleet kinds, Blade 0 for
+// machine kinds), so a generated fault must DeepEqual its re-parse.
+func genFault(r *splitmix64) Fault {
+	// Durations up to ~1s with femtosecond granularity: far below 2^53,
+	// and frequently not a whole number of nanoseconds, which is exactly
+	// the regime where the old ns-truncating formatter broke.
+	dur := func() sim.Duration { return sim.Duration(1 + r.intn(int(sim.Second))) }
+	kinds := []Kind{CrashSPE, DMADrop, DMACorrupt, MboxStall, LSOverflow,
+		BladeCrash, BladeStall, BladeRestart}
+	k := kinds[r.intn(len(kinds))]
+	f := Fault{Kind: k}
+	switch k {
+	case CrashSPE:
+		f.SPE = r.intn(16)
+		f.At = sim.Time(dur())
+	case MboxStall:
+		f.SPE = r.intn(16)
+		f.Nth = uint64(1 + r.intn(1000))
+		f.Delay = dur()
+	case DMADrop, DMACorrupt, LSOverflow:
+		f.SPE = r.intn(16)
+		f.Nth = uint64(1 + r.intn(1000))
+	case BladeCrash:
+		f.Blade = r.intn(16)
+		f.At = sim.Time(dur())
+	case BladeStall:
+		f.Blade = r.intn(16)
+		f.At = sim.Time(dur())
+		f.Delay = dur()
+	case BladeRestart:
+		f.Blade = r.intn(16)
+		f.At = sim.Time(dur())
+		f.Drain = dur()
+	}
+	return f
+}
+
+// TestPlanRoundTripProperty: for seeded random plans over the full
+// grammar — every kind, femtosecond-grain times — Parse(plan.String())
+// reproduces the plan exactly, and the rendered spec is a fixed point of
+// another String/Parse cycle.
+func TestPlanRoundTripProperty(t *testing.T) {
+	r := splitmix64(20070710)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.intn(6)
+		plan := &Plan{}
+		for i := 0; i < n; i++ {
+			plan.Faults = append(plan.Faults, genFault(&r))
+		}
+		spec := plan.String()
+		back, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, spec, err)
+		}
+		if !reflect.DeepEqual(back, plan) {
+			t.Fatalf("trial %d: round trip diverged\n spec %q\n got  %+v\n want %+v",
+				trial, spec, back.Faults, plan.Faults)
+		}
+		if again := back.String(); again != spec {
+			t.Fatalf("trial %d: String not a fixed point: %q vs %q", trial, again, spec)
+		}
+	}
+}
+
+// TestBladeKindRoundTrip pins the grammar of each new fleet-level kind
+// explicitly, including sub-nanosecond instants (exercising the fs
+// suffix) and the spe=/blade= key split.
+func TestBladeKindRoundTrip(t *testing.T) {
+	spec := "blade-crash:blade=2,at=60ms;" +
+		"blade-stall:blade=0,at=70ms,delay=1500us;" +
+		"blade-restart:blade=5,at=123456789fs,drain=5ms"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []Fault{
+		{Kind: BladeCrash, Blade: 2, At: sim.Time(60 * sim.Millisecond)},
+		{Kind: BladeStall, Blade: 0, At: sim.Time(70 * sim.Millisecond), Delay: 1500 * sim.Microsecond},
+		{Kind: BladeRestart, Blade: 5, At: 123456789, Drain: 5 * sim.Millisecond},
+	}
+	if !reflect.DeepEqual(p.Faults, want) {
+		t.Fatalf("Parse = %+v, want %+v", p.Faults, want)
+	}
+	if got := p.String(); got != spec {
+		t.Errorf("String = %q, want %q", got, spec)
+	}
+	for _, f := range p.Faults {
+		if !f.Kind.FleetLevel() {
+			t.Errorf("%v not FleetLevel", f.Kind)
+		}
+	}
+	bad := []string{
+		"blade-crash:blade=0",          // no at=
+		"blade-crash:spe=0,at=5ms",     // fleet kind needs blade=
+		"blade-stall:blade=0,at=5ms",   // no delay=
+		"blade-restart:blade=0,at=5ms", // no drain=
+		"blade-crash:blade=-1,at=5ms",  // negative blade
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// TestPlanSplit: MachineFaults/FleetFaults partition a mixed plan in
+// order, and a plan with no machine-level entries subsets to nil so the
+// machine runtime keeps its exact fault-free paths.
+func TestPlanSplit(t *testing.T) {
+	mixed, err := Parse("crash:spe=1,at=2ms;blade-crash:blade=0,at=50ms;dma-drop:spe=0,n=3;blade-restart:blade=1,at=60ms,drain=4ms")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := mixed.MachineFaults()
+	if len(m.Faults) != 2 || m.Faults[0].Kind != CrashSPE || m.Faults[1].Kind != DMADrop {
+		t.Fatalf("MachineFaults = %+v", m)
+	}
+	fl := mixed.FleetFaults()
+	if len(fl) != 2 || fl[0].Kind != BladeCrash || fl[1].Kind != BladeRestart {
+		t.Fatalf("FleetFaults = %+v", fl)
+	}
+	pure, _ := Parse("blade-crash:blade=0,at=50ms")
+	if pure.MachineFaults() != nil {
+		t.Error("pure fleet plan's MachineFaults not nil")
+	}
+	var nilPlan *Plan
+	if nilPlan.MachineFaults() != nil || nilPlan.FleetFaults() != nil {
+		t.Error("nil plan subsets not nil")
+	}
+}
+
+// TestSeededFleetDeterministic: same inputs, same plan; the plan stays
+// inside the fleet grammar, targets in-range blades, and round-trips.
+func TestSeededFleetDeterministic(t *testing.T) {
+	span := 200 * sim.Millisecond
+	a := SeededFleet(7, 8, span)
+	if !reflect.DeepEqual(a, SeededFleet(7, 8, span)) {
+		t.Fatal("same seed diverged")
+	}
+	if reflect.DeepEqual(a, SeededFleet(8, 8, span)) {
+		t.Error("different seeds produced identical plans")
+	}
+	back, err := Parse(a.String())
+	if err != nil {
+		t.Fatalf("Parse(SeededFleet.String): %v", err)
+	}
+	if !reflect.DeepEqual(back, a) {
+		t.Errorf("seeded fleet plan did not round-trip: %q vs %q", back, a)
+	}
+	crashes := 0
+	for _, f := range a.Faults {
+		if !f.Kind.FleetLevel() {
+			t.Errorf("SeededFleet produced machine-level %v", f.Kind)
+		}
+		if f.Blade < 0 || f.Blade >= 8 {
+			t.Errorf("fault targets out-of-range blade %d", f.Blade)
+		}
+		if f.At <= 0 || sim.Duration(f.At) > span {
+			t.Errorf("trigger %d fs outside span", f.At)
+		}
+		if f.Kind == BladeCrash {
+			crashes++
+		}
+	}
+	if crashes != 1 {
+		t.Errorf("SeededFleet crashes = %d, want 1", crashes)
+	}
+	if p := SeededFleet(7, 0, span); !p.Empty() {
+		t.Error("zero blades not empty")
+	}
+	if p := SeededFleet(7, 8, 0); !p.Empty() {
+		t.Error("zero span not empty")
+	}
+}
+
+// FuzzParseRoundTrip feeds arbitrary specs through Parse; whenever one
+// parses, its String must be a fixed point: Parse(String(p)) succeeds,
+// re-renders identically, and reproduces the same plan. This is the
+// grammar's total round-trip property — it holds even for sloppy inputs
+// (extra keys, float durations) because String canonicalizes.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("crash:spe=1,at=2ms;dma-drop:spe=0,n=3")
+	f.Add("mbox-stall:spe=3,n=2,delay=500us;ls-overflow:spe=0,n=1")
+	f.Add("blade-crash:blade=0,at=50ms;blade-restart:blade=1,at=60ms,drain=4ms")
+	f.Add("blade-stall:blade=7,at=1234567fs,delay=0.5ms")
+	f.Add("crash:spe=0,at=0.3ns") // sub-ns: needs the fs fallback
+	r := splitmix64(99)
+	for i := 0; i < 16; i++ {
+		plan := &Plan{Faults: []Fault{genFault(&r), genFault(&r)}}
+		f.Add(plan.String())
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return // invalid specs are fine; only valid ones must round-trip
+		}
+		s1 := p.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", spec, s1, err)
+		}
+		s2 := p2.String()
+		if s2 != s1 {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", spec, s1, s2)
+		}
+		// Parse tolerates irrelevant keys (e.g. n= on a crash) that String
+		// canonicalizes away, so compare plans only after one render.
+		p3, err := Parse(s2)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s2, err)
+		}
+		if !reflect.DeepEqual(p3, p2) {
+			t.Fatalf("canonical plan not stable: %+v vs %+v", p3.Faults, p2.Faults)
+		}
+	})
+}

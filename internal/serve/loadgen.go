@@ -28,6 +28,10 @@ type Request struct {
 	// Deadline is the virtual completion deadline (sim.Never when the
 	// stream runs without deadlines).
 	Deadline sim.Time
+	// Attempts counts how many times the request has lost its blade and
+	// been re-routed (0 on first admission). The lifecycle layer sheds a
+	// request whose attempts exceed the pool's retry budget.
+	Attempts int
 }
 
 // splitmix64 is the same tiny, well-mixed PRNG the fault planner uses;

@@ -36,6 +36,15 @@ type blade struct {
 	cur   []Request
 	deg   bool // current dispatch runs degraded (supervised recovery)
 
+	// Lifecycle state (DESIGN.md §12). health gates admission; gen
+	// invalidates completion events scheduled for dispatches that a kill
+	// or stall subsequently rewrote (the stale closure finds a newer
+	// generation and returns untouched); stallRestore remembers the state
+	// a transient stall must restore.
+	health       health
+	gen          uint64
+	stallRestore health
+
 	dispatches int
 	requests   int
 	busyTime   sim.Duration
@@ -46,6 +55,12 @@ type blade struct {
 	late            int
 	degraded        int
 	shedExpired     int
+	shedRerouted    int // evicted, backoff overshot the deadline
+	shedExhausted   int // evicted, retry budget exhausted
+	rerouted        int // evictions sent back through admission
+	crashes         int
+	restarts        int
+	stalls          int
 	batches         int
 	batchRequests   int
 	schemeFallbacks int
@@ -80,6 +95,14 @@ type pool struct {
 
 	shedRejected   int
 	placeFallbacks int
+
+	// Lifecycle coordinator state: the compiled blade-fault schedule
+	// (sorted, consumed via fi) and the pending re-admissions heap. Both
+	// are coordinator-only, like the admission state above.
+	faultSched []bladeEvent
+	fi         int
+	reroutes   rerouteHeap
+	rerouteSeq uint64
 
 	// Coordinator-side synchronization accounting (sharded run only):
 	// epochs/barriers from the engine, windowAdmits counts arrivals the
@@ -135,6 +158,13 @@ func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
 // run plays the sequential event loop over the arrival stream until every
 // admitted request has completed or been shed. It is the reference
 // semantics the sharded run must reproduce byte-for-byte.
+//
+// Event priority at equal timestamps: completions, then lifecycle
+// faults, then re-admissions of evicted requests, then fresh arrivals —
+// the same total order the sharded coordinator derives from inclusive
+// RunUntil plus coordClass. The run ends when no completion, re-route,
+// or arrival remains; lifecycle faults scheduled past that point never
+// fire (armed-but-unfired, see faultEligible).
 func (p *pool) run(reqs []Request) {
 	ai := 0
 	for {
@@ -147,13 +177,29 @@ func (p *pool) run(reqs []Request) {
 		if db != nil {
 			doneT = db.done
 		}
-		if doneT == sim.Never && nextArr == sim.Never {
+		nextRer := sim.Never
+		if len(p.reroutes) > 0 {
+			nextRer = p.reroutes[0].at
+		}
+		if doneT == sim.Never && nextRer == sim.Never && nextArr == sim.Never {
 			return
 		}
-		if doneT <= nextArr {
+		nextFault := sim.Never
+		if p.fi < len(p.faultSched) {
+			nextFault = p.faultSched[p.fi].at
+		}
+		switch {
+		case doneT <= nextFault && doneT <= nextRer && doneT <= nextArr:
 			p.now = doneT
 			p.complete(db)
-		} else {
+		case nextFault <= nextRer && nextFault <= nextArr:
+			p.now = nextFault
+			p.applyFault(p.faultSched[p.fi])
+			p.fi++
+		case nextRer <= nextArr:
+			p.now = nextRer
+			p.admit(p.popReroute())
+		default:
 			p.now = nextArr
 			p.admit(reqs[ai])
 			ai++
@@ -183,6 +229,18 @@ func (p *pool) run(reqs []Request) {
 // The two schedules produce identical per-wheel event sequences, so the
 // reports are byte-identical — lookahead only deletes barriers whose
 // ordering constraints were vacuous.
+//
+// Lifecycle faults are coordinator-observed events: a planned blade
+// fault is always a barrier (killing a blade reads and writes state
+// across the pool, so the wheels must be quiescent), and the engine
+// fence (ShardedEngine.SetFence) pins the horizon at the next scheduled
+// fault instant, so lookahead windows structurally cannot admit past a
+// fault even before any wheel knows about it. Re-admissions of evicted
+// requests window-admit exactly like arrivals when strictly below the
+// horizon. Same-instant ordering matches the sequential loop: wheel
+// completions run inside the epoch (RunUntil is inclusive), then the
+// barrier applies faults, re-admissions, and arrivals in coordClass
+// order.
 func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 	sh := sim.NewSharded(len(p.blades), workers)
 	for i, b := range p.blades {
@@ -190,21 +248,31 @@ func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 	}
 	p.sharded = true
 	ai := 0
+	if p.fi < len(p.faultSched) {
+		sh.SetFence(p.faultSched[p.fi].at)
+	}
 	err := sh.Run(
 		func() (sim.Time, bool) {
-			for lookahead && ai < len(reqs) && reqs[ai].Arrival < sh.Horizon() {
+			for {
+				t, class, ok := p.nextCoord(reqs, ai)
+				if !ok {
+					return 0, false
+				}
+				if !lookahead || class == coordFault || t >= sh.Horizon() {
+					return t, true
+				}
 				// p.now drives placement scoring and deadline shedding,
-				// so it must track each admitted arrival exactly as a
+				// so it must track each admitted event exactly as a
 				// barrier at that instant would have set it.
-				p.now = reqs[ai].Arrival
-				p.admit(reqs[ai])
-				ai++
+				p.now = t
+				if class == coordReroute {
+					p.admit(p.popReroute())
+				} else {
+					p.admit(reqs[ai])
+					ai++
+				}
 				p.windowAdmits++
 			}
-			if ai >= len(reqs) {
-				return 0, false
-			}
-			return reqs[ai].Arrival, true
 		},
 		func(t sim.Time) {
 			p.barriers++
@@ -212,6 +280,25 @@ func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 				p.ctr.Instant(coordLane, t, "epoch barrier")
 			}
 			p.now = t
+			for p.fi < len(p.faultSched) && p.faultSched[p.fi].at == t {
+				if !p.faultEligible(reqs, ai) {
+					// The last request resolved during this epoch: the
+					// run is over and every remaining fault stays
+					// armed-but-unfired, as in the sequential loop.
+					p.fi = len(p.faultSched)
+					break
+				}
+				p.applyFault(p.faultSched[p.fi])
+				p.fi++
+			}
+			if p.fi < len(p.faultSched) {
+				sh.SetFence(p.faultSched[p.fi].at)
+			} else {
+				sh.SetFence(sim.Never)
+			}
+			for len(p.reroutes) > 0 && p.reroutes[0].at == t {
+				p.admit(p.popReroute())
+			}
 			for ai < len(reqs) && reqs[ai].Arrival == t {
 				p.admit(reqs[ai])
 				ai++
@@ -246,18 +333,24 @@ func (p *pool) estOne(r Request) sim.Duration {
 	return p.cal.service(svcKey{Scheme: SchemeJob, Tall: r.Tall, K: 1}).Service
 }
 
-// placeOrder ranks the blades for admitting r. The estimator policy
-// orders by earliest estimated finish (remaining in-flight work plus the
-// estimated backlog of queued requests); the round-robin policy — and
-// the estimator when its scores cannot separate the blades — uses plain
-// rotation. The returned slice is pool scratch, valid until the next
-// call (coordinator-only).
+// placeOrder ranks the admittable blades for admitting r — lifecycle
+// health is the circuit breaker: draining, stalled, and dead blades
+// never appear in the order. The estimator policy orders by earliest
+// estimated finish (remaining in-flight work plus the estimated backlog
+// of queued requests, plus warmup for a cold or restarted blade); the
+// round-robin policy — and the estimator when its scores cannot separate
+// the blades — uses plain rotation. With every blade healthy the order
+// is exactly the pre-lifecycle one. The returned slice is pool scratch,
+// valid until the next call (coordinator-only); it is empty when no
+// blade is admittable.
 func (p *pool) placeOrder(r Request) []*blade {
 	n := len(p.blades)
-	out := p.ordBuf[:n]
 	rot := func() []*blade {
+		out := p.ordBuf[:0]
 		for i := 0; i < n; i++ {
-			out[i] = p.blades[(p.rr+i)%n]
+			if b := p.blades[(p.rr+i)%n]; b.health.admittable() {
+				out = append(out, b)
+			}
 		}
 		p.rr = (p.rr + 1) % n
 		return out
@@ -266,7 +359,11 @@ func (p *pool) placeOrder(r Request) []*blade {
 		return rot()
 	}
 	scores := p.scoreBuf[:n]
+	idx := p.idxBuf[:0]
 	for i, b := range p.blades {
+		if !b.health.admittable() {
+			continue
+		}
 		var s sim.Duration
 		if b.busy {
 			s += b.done.Sub(p.now)
@@ -278,39 +375,42 @@ func (p *pool) placeOrder(r Request) []*blade {
 			s += p.estOne(q)
 		}
 		scores[i] = s
+		idx = append(idx, i)
 	}
-	min, max := scores[0], scores[0]
-	for _, s := range scores[1:] {
-		if s < min {
-			min = s
+	if len(idx) == 0 {
+		return p.ordBuf[:0]
+	}
+	min, max := scores[idx[0]], scores[idx[0]]
+	for _, i := range idx[1:] {
+		if scores[i] < min {
+			min = scores[i]
 		}
-		if s > max {
-			max = s
+		if scores[i] > max {
+			max = scores[i]
 		}
 	}
 	if min == max {
-		// All blades look identical to the estimator: inconclusive, so
-		// rotate to avoid piling onto blade 0.
+		// All admittable blades look identical to the estimator:
+		// inconclusive, so rotate to avoid piling onto the lowest index.
 		p.placeFallbacks++
 		return rot()
 	}
-	idx := p.idxBuf[:n]
-	for i := range idx {
-		idx[i] = i
-	}
 	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	out := p.ordBuf[:len(idx)]
 	for i, j := range idx {
 		out[i] = p.blades[j]
 	}
 	return out
 }
 
-// admit places one arrival on the first blade in policy preference order
-// with queue room, dispatching immediately if that blade is idle.
-// Arrivals finding every candidate queue full are shed (backpressure).
-// Admission always runs on the coordinator: in the sharded run the
-// wheels are quiescent at the barrier, so the synchronous dispatch here
-// observes exactly the state the sequential loop would.
+// admit places one request (a fresh arrival or a re-routed eviction) on
+// the first blade in policy preference order with queue room,
+// dispatching immediately if that blade is idle. Requests finding every
+// candidate queue full — or no admittable blade at all — are shed
+// (backpressure). Admission always runs on the coordinator: in the
+// sharded run the wheels are quiescent at the barrier, so the
+// synchronous dispatch here observes exactly the state the sequential
+// loop would.
 func (p *pool) admit(r Request) {
 	order := p.placeOrder(r)
 	for _, b := range order {
@@ -323,8 +423,12 @@ func (p *pool) admit(r Request) {
 		}
 	}
 	p.shedRejected++
-	first := order[0]
-	trace.RecordInstant(first.tr, first.lane, p.now, fmt.Sprintf("shed-rejected req %d", r.ID))
+	if len(order) > 0 {
+		first := order[0]
+		trace.RecordInstant(first.tr, first.lane, p.now, fmt.Sprintf("shed-rejected req %d", r.ID))
+	} else if p.ctr != nil {
+		p.ctr.Instant(coordLane, p.now, fmt.Sprintf("shed-rejected req %d (no admittable blade)", r.ID))
+	}
 }
 
 // dispatch sheds queued requests that can no longer meet their deadline,
@@ -378,8 +482,10 @@ func (p *pool) dispatch(b *blade, now sim.Time) {
 	s := p.cal.service(svcKey{Scheme: scheme, Tall: tall, K: len(batch)})
 	start := now
 	if !b.warm {
+		// A restarted blade comes back cold, so warmup can recur;
+		// warmupTime accumulates every charge.
 		b.warm = true
-		b.warmupTime = s.Warmup
+		b.warmupTime += s.Warmup
 		b.tr.Span(b.lane, start, start.Add(s.Warmup), trace.KindIO, "warmup: model library load")
 		start = start.Add(s.Warmup)
 	}
@@ -411,9 +517,24 @@ func (p *pool) dispatch(b *blade, now sim.Time) {
 			p.verifyDispatch(b, scheme, tall, k)
 		}
 	}
-	if b.wheel != nil {
-		b.wheel.At(b.done, func() { p.complete(b) })
+	p.scheduleCompletion(b)
+}
+
+// scheduleCompletion schedules b's current dispatch completion on its
+// wheel (no-op in the sequential loop, which polls earliestBusy). The
+// closure captures the dispatch generation: a kill or stall that rewrote
+// the dispatch bumps b.gen, so the stale event fires, finds a newer
+// generation, and returns without touching the ledger.
+func (p *pool) scheduleCompletion(b *blade) {
+	if b.wheel == nil {
+		return
 	}
+	gen := b.gen
+	b.wheel.At(b.done, func() {
+		if b.gen == gen {
+			p.complete(b)
+		}
+	})
 }
 
 // verifyDispatch re-runs the full machine simulation behind one dispatch
@@ -479,5 +600,9 @@ func (p *pool) complete(b *blade) {
 	b.busy = false
 	b.spare = b.cur[:0]
 	b.cur = nil
+	if b.health == healthWarming {
+		// First completed dispatch after a restart: warmed and proven.
+		b.health = healthUp
+	}
 	p.dispatch(b, t)
 }

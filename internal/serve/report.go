@@ -14,10 +14,21 @@ import (
 // JSON so serialized reports are byte-identical either way.
 type BladeStats struct {
 	Blade      int          `json:"blade"`
+	Health     string       `json:"health"`
 	Dispatches int          `json:"dispatches"`
 	Requests   int          `json:"requests"`
 	Busy       sim.Duration `json:"busy_fs"`
 	Warmup     sim.Duration `json:"warmup_fs"`
+
+	// Lifecycle outcomes (DESIGN.md §12). Sheds are attributed to the
+	// blade that lost the request, so these merge like every other
+	// ledger column.
+	Crashes       int `json:"crashes"`
+	Restarts      int `json:"restarts"`
+	Stalls        int `json:"stalls"`
+	Rerouted      int `json:"rerouted"`
+	ShedRerouted  int `json:"shed_rerouted"`
+	ShedExhausted int `json:"shed_exhausted"`
 
 	Trace   *trace.Recorder   `json:"-"`
 	Metrics *metrics.Snapshot `json:"-"`
@@ -42,6 +53,21 @@ type Report struct {
 	Degraded     int `json:"degraded"`
 	ShedRejected int `json:"shed_rejected"`
 	ShedExpired  int `json:"shed_expired"`
+	// Lifecycle shed reasons: a re-routed request whose backoff overshot
+	// its deadline, and one that exhausted its retry budget. Together
+	// with the two above, the ledger conserves exactly:
+	// Served + ShedRejected + ShedExpired + ShedRerouted + ShedExhausted
+	// == Requests.
+	ShedRerouted  int `json:"shed_rerouted"`
+	ShedExhausted int `json:"shed_exhausted"`
+
+	// Fleet lifecycle outcomes: re-route events and the lifecycle
+	// transitions that actually fired (armed-but-unfired plan entries
+	// count nothing).
+	Rerouted      int `json:"rerouted"`
+	BladeCrashes  int `json:"blade_crashes"`
+	BladeRestarts int `json:"blade_restarts"`
+	BladeStalls   int `json:"blade_stalls"`
 
 	Batches             int            `json:"batches"`
 	MeanBatch           float64        `json:"mean_batch"`
@@ -98,6 +124,7 @@ func percentile(sample []sim.Duration, q float64) sim.Duration {
 // its own wheel.
 func (p *pool) report(offered float64) *Report {
 	var served, late, degraded, shedExpired, batches, batchRequests, fallbacks int
+	var shedRerouted, shedExhausted, rerouted, crashes, restarts, stalls int
 	var schemeBatches [numSchemes]int
 	var lastDone sim.Time
 	var latencies []sim.Duration
@@ -106,6 +133,12 @@ func (p *pool) report(offered float64) *Report {
 		late += b.late
 		degraded += b.degraded
 		shedExpired += b.shedExpired
+		shedRerouted += b.shedRerouted
+		shedExhausted += b.shedExhausted
+		rerouted += b.rerouted
+		crashes += b.crashes
+		restarts += b.restarts
+		stalls += b.stalls
 		batches += b.batches
 		batchRequests += b.batchRequests
 		fallbacks += b.schemeFallbacks
@@ -138,6 +171,12 @@ func (p *pool) report(offered float64) *Report {
 		Degraded:            degraded,
 		ShedRejected:        p.shedRejected,
 		ShedExpired:         shedExpired,
+		ShedRerouted:        shedRerouted,
+		ShedExhausted:       shedExhausted,
+		Rerouted:            rerouted,
+		BladeCrashes:        crashes,
+		BladeRestarts:       restarts,
+		BladeStalls:         stalls,
 		Batches:             batches,
 		SchemeBatches:       schemes,
 		PolicyFallbacks:     p.placeFallbacks + fallbacks,
@@ -168,12 +207,19 @@ func (p *pool) report(offered float64) *Report {
 	}
 	for _, b := range p.blades {
 		bs := BladeStats{
-			Blade:      b.id,
-			Dispatches: b.dispatches,
-			Requests:   b.requests,
-			Busy:       b.busyTime,
-			Warmup:     b.warmupTime,
-			Trace:      b.rec,
+			Blade:         b.id,
+			Health:        b.health.String(),
+			Dispatches:    b.dispatches,
+			Requests:      b.requests,
+			Busy:          b.busyTime,
+			Warmup:        b.warmupTime,
+			Crashes:       b.crashes,
+			Restarts:      b.restarts,
+			Stalls:        b.stalls,
+			Rerouted:      b.rerouted,
+			ShedRerouted:  b.shedRerouted,
+			ShedExhausted: b.shedExhausted,
+			Trace:         b.rec,
 		}
 		if p.cfg.Instrument {
 			reg := metrics.NewRegistry()
@@ -181,6 +227,12 @@ func (p *pool) report(offered float64) *Report {
 			reg.Counter(b.lane, "requests").Add(int64(b.requests))
 			reg.Counter(b.lane, "busy_fs").Add(int64(b.busyTime))
 			reg.Counter(b.lane, "warmup_fs").Add(int64(b.warmupTime))
+			reg.Counter(b.lane, "crashes").Add(int64(b.crashes))
+			reg.Counter(b.lane, "restarts").Add(int64(b.restarts))
+			reg.Counter(b.lane, "stalls").Add(int64(b.stalls))
+			reg.Counter(b.lane, "rerouted").Add(int64(b.rerouted))
+			reg.Counter(b.lane, "shed_rerouted").Add(int64(b.shedRerouted))
+			reg.Counter(b.lane, "shed_exhausted").Add(int64(b.shedExhausted))
 			bs.Metrics = reg.Snapshot()
 		}
 		r.PerBlade = append(r.PerBlade, bs)

@@ -83,12 +83,24 @@ type Config struct {
 	// Artifacts shares workload artifacts across calibration runs; nil
 	// uses the process-wide shared cache.
 	Artifacts *marvel.ArtifactCache
-	// Faults, when non-nil, arms the deterministic fault plan inside
-	// every dispatch simulation, so measured services include the
-	// supervision loop's retries and fallbacks (degraded service).
+	// Faults, when non-nil, arms the deterministic fault plan. Its
+	// machine-level faults run inside every dispatch simulation, so
+	// measured services include the supervision loop's retries and
+	// fallbacks (degraded service); its fleet-level faults (blade-crash,
+	// blade-stall, blade-restart) drive the pool's blade lifecycle
+	// (DESIGN.md §12).
 	Faults *fault.Plan
 	// Watchdog overrides the supervision watchdog (only with Faults).
 	Watchdog sim.Duration
+	// RetryBudget bounds how many times one request may be re-routed
+	// after losing its blade before being shed as exhausted (default 3,
+	// mirroring the supervision loop's retry bound).
+	RetryBudget int
+	// RetryBackoff is the base virtual-time backoff a re-routed request
+	// waits before re-entering admission; attempt k waits
+	// RetryBackoff << (k-1), saturating at 16 doublings (default 100µs,
+	// mirroring the supervision loop's backoff).
+	RetryBackoff sim.Duration
 	// Parallel bounds the worker pool used for calibration simulations;
 	// it never affects results, only wall-clock time.
 	Parallel int
@@ -153,6 +165,12 @@ func (c Config) withDefaults() Config {
 		mc.MemorySize = 64 << 20 // one blade's local share, not the default desktop 256 MB
 		c.MachineConfig = &mc
 	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * sim.Microsecond
+	}
 	return c
 }
 
@@ -178,7 +196,11 @@ func (c Config) portedConfig(scen marvel.Scenario, tall bool, k int, withFaults 
 		Watchdog:      c.Watchdog,
 	}
 	if withFaults {
-		pc.Faults = c.Faults
+		// Only the machine-level subset reaches the dispatch simulation;
+		// fleet-level faults belong to the pool's lifecycle layer. The
+		// subset is nil for a purely fleet-level plan, so such a plan
+		// leaves every machine run on its exact fault-free paths.
+		pc.Faults = c.Faults.MachineFaults()
 	}
 	return pc
 }
@@ -217,6 +239,9 @@ func Run(cfg Config) (*Report, error) {
 
 	reqs := arrivals(cfg.Seed, cfg.Requests, offered, cfg.Burst, cfg.TallFrac, deadline)
 	p := newPool(cfg, cal, deadline)
+	if err := p.armFleet(cfg.Faults); err != nil {
+		return nil, err
+	}
 	if cfg.SeqSim {
 		p.run(reqs)
 	} else if err := p.runSharded(reqs, cfg.Shards, !cfg.NoLookahead); err != nil {

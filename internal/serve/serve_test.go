@@ -108,6 +108,23 @@ func TestServeDeterminism(t *testing.T) {
 	}
 }
 
+// checkLedger asserts full request conservation over every shed
+// category (including the lifecycle ones) and that the per-blade merge
+// stayed blade-index-ordered.
+func checkLedger(t *testing.T, rep *Report) {
+	t.Helper()
+	total := rep.Served + rep.ShedRejected + rep.ShedExpired + rep.ShedRerouted + rep.ShedExhausted
+	if total != rep.Requests {
+		t.Fatalf("ledger leaks: served %d + rejected %d + expired %d + rerouted %d + exhausted %d = %d, want %d",
+			rep.Served, rep.ShedRejected, rep.ShedExpired, rep.ShedRerouted, rep.ShedExhausted, total, rep.Requests)
+	}
+	for i, bs := range rep.PerBlade {
+		if bs.Blade != i {
+			t.Fatalf("per-blade merge out of order: index %d holds blade %d", i, bs.Blade)
+		}
+	}
+}
+
 // TestServeConservation checks the admission ledger: every generated
 // request is served, rejected at admission, or shed as hopeless —
 // nothing is lost or double-counted.
@@ -117,10 +134,7 @@ func TestServeConservation(t *testing.T) {
 		cfg.Seed = seed
 		cfg.Cal = mustCal(t)
 		rep := mustRun(t, cfg)
-		if total := rep.Served + rep.ShedRejected + rep.ShedExpired; total != rep.Requests {
-			t.Fatalf("seed %d: served %d + rejected %d + expired %d = %d, want %d",
-				seed, rep.Served, rep.ShedRejected, rep.ShedExpired, total, rep.Requests)
-		}
+		checkLedger(t, rep)
 		if rep.Served > 0 && (rep.LatencyP50 <= 0 || rep.LatencyP50 > rep.LatencyP95 || rep.LatencyP95 > rep.LatencyP99) {
 			t.Fatalf("seed %d: percentiles out of order: p50=%v p95=%v p99=%v",
 				seed, rep.LatencyP50, rep.LatencyP95, rep.LatencyP99)

@@ -55,6 +55,37 @@ func TestShardedHorizonMinOverWheels(t *testing.T) {
 	}
 }
 
+// TestHorizonFence: a coordinator fence caps the horizon below any wheel
+// event, clears back to the wheel minimum, and an all-empty engine with a
+// fence reports the fence itself — the contract the serve chaos
+// coordinator uses to keep lookahead windows from admitting across a
+// scheduled blade fault no wheel knows about yet.
+func TestHorizonFence(t *testing.T) {
+	s := NewSharded(2, 1)
+	s.SetFence(4 * Time(Millisecond))
+	if h := s.Horizon(); h != 4*Time(Millisecond) {
+		t.Fatalf("empty wheels: horizon %v, want the 4ms fence", h)
+	}
+	s.Wheel(0).At(6*Time(Millisecond), func() {})
+	if h := s.Horizon(); h != 4*Time(Millisecond) {
+		t.Fatalf("fence below wheel events: horizon %v, want 4ms", h)
+	}
+	s.Wheel(1).At(Time(Millisecond), func() {})
+	if h := s.Horizon(); h != Time(Millisecond) {
+		t.Fatalf("wheel event below fence: horizon %v, want 1ms", h)
+	}
+	s.SetFence(Never)
+	if h := s.Horizon(); h != Time(Millisecond) {
+		t.Fatalf("fence cleared: horizon %v, want 1ms", h)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Horizon(); h != Never {
+		t.Fatalf("drained, no fence: horizon %v, want Never", h)
+	}
+}
+
 // TestHorizonScheduleNoDoubleRun pins the boundary semantics the serve
 // coordinator relies on: driving barriers by next() = Horizon() runs an
 // event landing exactly on the horizon exactly once, even when it chains

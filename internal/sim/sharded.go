@@ -44,6 +44,13 @@ type ShardedEngine struct {
 	// its queue with processes still blocked (a would-be deadlock that the
 	// coordinator may still resolve by injecting events at a barrier).
 	stalled []wheelStall
+
+	// fence is the earliest coordinator-scheduled instant (Never if none):
+	// a future event the coordinator has committed to but not yet injected
+	// into any wheel, e.g. a planned blade fault. Horizon() never reports
+	// past it, so lookahead windows cannot admit across such an instant
+	// even though no wheel knows about it yet.
+	fence Time
 }
 
 // wheelStall is one wheel's recorded mid-epoch stall: the epoch and
@@ -72,8 +79,17 @@ func NewSharded(wheels, workers int) *ShardedEngine {
 		s.wheels[i] = NewEngine()
 	}
 	s.stalled = make([]wheelStall, wheels)
+	s.fence = Never
 	return s
 }
+
+// SetFence publishes the earliest instant the coordinator has scheduled
+// outside the wheels (Never to clear). It caps Horizon(): external work
+// with timestamps at or past the fence must go through a barrier, where
+// the coordinator can first materialize whatever it planned at the fence
+// instant. Only the coordinator may call it (from next/barrier, or
+// before Run).
+func (s *ShardedEngine) SetFence(t Time) { s.fence = t }
 
 // Wheels reports the number of wheels.
 func (s *ShardedEngine) Wheels() int { return len(s.wheels) }
@@ -104,16 +120,18 @@ func (s *ShardedEngine) BarrierWait() Duration { return s.barrierWait }
 
 // Horizon reports the engine's conservative lookahead bound: the
 // earliest pending event time across all wheels (min over wheels, taken
-// in wheel-index order), or Never when every wheel is empty. While the
-// wheels are quiescent — i.e. from the coordinator's next/barrier
-// callbacks — nothing in the simulation can happen strictly before the
-// horizon, so any external event (an arrival, an injection) with a
-// timestamp strictly below it may be committed immediately without
-// running an epoch: no wheel event can intervene. Scheduling new wheel
-// events moves the horizon, so callers interleaving queries with
-// injections must re-query after each one.
+// in wheel-index order) capped by the coordinator fence (SetFence), or
+// Never when every wheel is empty and no fence is set. While the wheels
+// are quiescent — i.e. from the coordinator's next/barrier callbacks —
+// nothing in the simulation can happen strictly before the horizon, so
+// any external event (an arrival, an injection) with a timestamp
+// strictly below it may be committed immediately without running an
+// epoch: no wheel event can intervene, and no coordinator-scheduled
+// instant is skipped. Scheduling new wheel events moves the horizon, so
+// callers interleaving queries with injections must re-query after each
+// one.
 func (s *ShardedEngine) Horizon() Time {
-	h := Never
+	h := s.fence
 	for _, w := range s.wheels {
 		if t, ok := w.NextEventTime(); ok && t < h {
 			h = t
