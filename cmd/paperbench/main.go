@@ -13,6 +13,8 @@
 //	paperbench -exp serve        # multi-blade serving layer, estimator vs RR
 //	paperbench -exp chaos        # blade lifecycle: seeded rolling restarts,
 //	                             # crash/stall/drain, re-routing vs baseline
+//	paperbench -exp fleet        # fleet-scale serving: routed blade pools +
+//	                             # autoscaler vs a static single pool
 //	paperbench -quick            # reduced frames/sets for a fast pass
 //	paperbench -parallel 4       # worker pool for independent runs
 //	paperbench -nocache          # recompute artifacts per run (cold path)
@@ -36,6 +38,10 @@
 //	                             # instant (lookahead off; identical bytes)
 //	paperbench -fullsim          # serve: re-simulate the machine behind every
 //	                             # dispatch and fail on calibration divergence
+//	paperbench -pools 4          # fleet: number of routed blade pools
+//	paperbench -autoscale=false  # fleet: disarm the virtual-time autoscaler
+//	paperbench -flash=false      # fleet: drop the flash-crowd windows (keep
+//	                             # the diurnal sinusoid)
 //	paperbench -cpuprofile F     # write a pprof CPU profile of the run
 //	paperbench -memprofile F     # write a pprof allocation profile of the run
 //	paperbench -bench-refresh    # regenerate the committed bench/ baselines
@@ -58,6 +64,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +78,7 @@ import (
 	"cellport/internal/atomicfile"
 	"cellport/internal/experiments"
 	"cellport/internal/fault"
+	"cellport/internal/serve"
 	"cellport/internal/sim"
 )
 
@@ -88,10 +96,10 @@ type jsonEntry struct {
 // experimentNames lists every -exp value, in execution order.
 var experimentNames = []string{
 	"table1", "naive", "fig6", "fig7", "eqns", "profile", "hosts",
-	"scaling", "pipeline", "overhead", "faults", "serve", "chaos",
+	"scaling", "pipeline", "overhead", "faults", "serve", "chaos", "fleet",
 }
 
-const usageHint = "usage: paperbench [-exp all|table1|naive|fig6|fig7|eqns|profile|hosts|scaling|pipeline|overhead|faults|serve|chaos] [-quick] [-parallel N] [-json F] [-trace F] [-metrics F] (run with -help for all flags)"
+const usageHint = "usage: paperbench [-exp all|table1|naive|fig6|fig7|eqns|profile|hosts|scaling|pipeline|overhead|faults|serve|chaos|fleet] [-quick] [-parallel N] [-json F] [-trace F] [-metrics F] (run with -help for all flags)"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -119,6 +127,9 @@ type options struct {
 	seqSim      bool
 	lookahead   bool
 	fullSim     bool
+	pools       int
+	autoscale   bool
+	flash       bool
 	cpuProfile  string
 	memProfile  string
 	benchFresh  bool
@@ -136,7 +147,7 @@ func parseFlags(args []string, errw io.Writer) (*options, int) {
 	o := &options{}
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	fs.StringVar(&o.exp, "exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults|serve|chaos")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults|serve|chaos|fleet")
 	fs.BoolVar(&o.quick, "quick", false, "reduced frame size and image sets")
 	fs.StringVar(&o.jsonPath, "json", "", "write machine-readable results to this path (\"-\" for stdout)")
 	fs.Uint64Var(&o.seed, "seed", 20070710, "workload seed")
@@ -156,9 +167,12 @@ func parseFlags(args []string, errw io.Writer) (*options, int) {
 	fs.BoolVar(&o.seqSim, "seqsim", false, "serve: run the sequential reference event loop instead of the sharded wheels")
 	fs.BoolVar(&o.lookahead, "lookahead", true, "serve: admit arrivals inside the conservative lookahead horizon without a barrier (-lookahead=false restores per-arrival barriers; results are byte-identical)")
 	fs.BoolVar(&o.fullSim, "fullsim", false, "serve: re-simulate the full machine behind every dispatch (verified dispatch)")
+	fs.IntVar(&o.pools, "pools", 4, "fleet: number of routed blade pools (each of -blades blades)")
+	fs.BoolVar(&o.autoscale, "autoscale", true, "fleet: arm the virtual-time autoscaler (-autoscale=false for a static fleet)")
+	fs.BoolVar(&o.flash, "flash", true, "fleet: add seeded flash-crowd windows to the diurnal load model")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocation profile of the run to this path")
-	fs.BoolVar(&o.benchFresh, "bench-refresh", false, "regenerate the committed benchmark baselines (BENCH_serve.json, BENCH_sweep.json)")
+	fs.BoolVar(&o.benchFresh, "bench-refresh", false, "regenerate the committed benchmark baselines (BENCH_serve.json, BENCH_sweep.json, BENCH_fleet.json)")
 	fs.StringVar(&o.benchDir, "bench-dir", "bench", "target directory for -bench-refresh")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -201,14 +215,22 @@ func (o *options) validate() string {
 		return false
 	}
 	for _, f := range []string{"faults", "faultseed", "watchdog"} {
-		if o.set[f] && !expSelects("faults", "serve", "chaos") {
-			return fmt.Sprintf("-%s only applies to -exp faults, serve or chaos, not -exp %s", f, o.exp)
+		if o.set[f] && !expSelects("faults", "serve", "chaos", "fleet") {
+			return fmt.Sprintf("-%s only applies to -exp faults, serve, chaos or fleet, not -exp %s", f, o.exp)
 		}
 	}
 	for _, f := range []string{"rate", "blades", "deadline", "servesed", "burst", "shards", "seqsim", "lookahead", "fullsim"} {
-		if o.set[f] && !expSelects("serve", "chaos") {
-			return fmt.Sprintf("-%s only applies to -exp serve or -exp chaos, not -exp %s", f, o.exp)
+		if o.set[f] && !expSelects("serve", "chaos", "fleet") {
+			return fmt.Sprintf("-%s only applies to -exp serve, chaos or fleet, not -exp %s", f, o.exp)
 		}
+	}
+	for _, f := range []string{"pools", "autoscale", "flash"} {
+		if o.set[f] && !expSelects("fleet") {
+			return fmt.Sprintf("-%s only applies to -exp fleet, not -exp %s", f, o.exp)
+		}
+	}
+	if o.pools < 1 {
+		return fmt.Sprintf("-pools must be >= 1, got %d", o.pools)
 	}
 	if o.set["watchdog"] {
 		d, err := fault.ParseDuration(o.watchdog)
@@ -246,6 +268,8 @@ func benchRefreshArgs(dir string) [][]string {
 		{"-quick", "-exp", "serve", "-blades", "3", "-rate", "2", "-servesed", "7",
 			"-json", filepath.Join(dir, "BENCH_serve.json")},
 		{"-quick", "-exp", "fig7", "-json", filepath.Join(dir, "BENCH_sweep.json")},
+		{"-quick", "-exp", "fleet", "-pools", "4", "-blades", "2", "-rate", "1.5", "-servesed", "7",
+			"-json", filepath.Join(dir, "BENCH_fleet.json")},
 	}
 }
 
@@ -316,6 +340,11 @@ func runExperiments(o *options, out, errw io.Writer) int {
 			DeadlineMS: o.deadline,
 			Seed:       o.serveSeed,
 		},
+		Fleet: experiments.FleetConfig{
+			Pools:     o.pools,
+			Autoscale: o.autoscale,
+			Flash:     o.flash,
+		},
 		Shards:      o.shards,
 		SeqSim:      o.seqSim,
 		NoLookahead: !o.lookahead,
@@ -328,6 +357,7 @@ func runExperiments(o *options, out, errw io.Writer) int {
 	jsonDoc := map[string]jsonEntry{}
 	start := time.Now()
 	failed := false
+	usageErr := false
 
 	runExp := func(name string, fn func() (any, error)) {
 		if failed || (o.exp != "all" && o.exp != name) {
@@ -344,6 +374,13 @@ func runExperiments(o *options, out, errw io.Writer) int {
 		data, err := fn()
 		if err != nil {
 			fmt.Fprintf(errw, "paperbench: %s: %v\n", name, err)
+			// A degenerate serve configuration is a usage error, not a
+			// failed run: exit 2 with the hint, matching flag validation.
+			var ce *serve.ConfigError
+			if errors.As(err, &ce) {
+				fmt.Fprintln(errw, usageHint)
+				usageErr = true
+			}
 			failed = true
 			return
 		}
@@ -463,8 +500,19 @@ func runExperiments(o *options, out, errw io.Writer) int {
 		render(func() { experiments.RenderChaos(out, r) })
 		return r, nil
 	})
+	runExp("fleet", func() (any, error) {
+		r, err := experiments.FleetExp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		render(func() { experiments.RenderFleet(out, r) })
+		return r, nil
+	})
 
 	if failed {
+		if usageErr {
+			return 2
+		}
 		return 1
 	}
 
@@ -480,6 +528,12 @@ func runExperiments(o *options, out, errw io.Writer) int {
 		if cr, isChaos := e.Data.(*experiments.ChaosResult); isChaos {
 			e.Epochs = cr.Epochs
 			jsonDoc["chaos"] = e
+		}
+	}
+	if e, ok := jsonDoc["fleet"]; ok {
+		if fr, isFleet := e.Data.(*experiments.FleetResult); isFleet {
+			e.Epochs = fr.Epochs
+			jsonDoc["fleet"] = e
 		}
 	}
 

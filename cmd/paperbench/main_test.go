@@ -49,6 +49,14 @@ func TestFlagValidationMatrix(t *testing.T) {
 		{"serve flags with serve exp", []string{"-exp", "serve", "-rate", "2", "-blades", "2", "-deadline", "-1", "-servesed", "9", "-burst", "1"}, -1, ""},
 		{"shard flags with serve exp", []string{"-exp", "serve", "-shards", "8", "-fullsim"}, -1, ""},
 		{"seqsim with serve exp", []string{"-exp", "serve", "-seqsim"}, -1, ""},
+		{"pools with wrong exp", []string{"-exp", "serve", "-pools", "4"}, 2, "-pools only applies"},
+		{"autoscale with wrong exp", []string{"-exp", "chaos", "-autoscale=false"}, 2, "-autoscale only applies"},
+		{"flash with wrong exp", []string{"-exp", "table1", "-flash=false"}, 2, "-flash only applies"},
+		{"zero pools", []string{"-exp", "fleet", "-pools", "0"}, 2, "-pools must be >= 1"},
+		{"negative pools", []string{"-exp", "fleet", "-pools", "-3"}, 2, "-pools must be >= 1"},
+		{"fleet flags with fleet exp", []string{"-exp", "fleet", "-pools", "4", "-autoscale=false", "-flash=false"}, -1, ""},
+		{"serve flags with fleet exp", []string{"-exp", "fleet", "-rate", "1.5", "-blades", "2", "-shards", "8", "-seqsim"}, -1, ""},
+		{"faults flag with fleet exp", []string{"-exp", "fleet", "-faults", "blade-crash:blade=0,at=5ms"}, -1, ""},
 		{"serve flags with all", []string{"-rate", "2"}, -1, ""},
 		{"bench-refresh alone", []string{"-bench-refresh", "-bench-dir", "fresh"}, -1, ""},
 		{"profiles with any exp", []string{"-exp", "eqns", "-cpuprofile", "cpu.pb", "-memprofile", "mem.pb"}, -1, ""},
@@ -140,6 +148,23 @@ func TestRunServeQuick(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Serving layer") {
 		t.Fatalf("table output missing serve render: %s", out.String())
+	}
+}
+
+// TestRunRejectsDegenerateServeConfig checks a degenerate serve value
+// that only the library-level Config.Validate can catch (a sub-unity
+// -burst) exits 2 with the usage hint instead of reporting a failed run.
+func TestRunRejectsDegenerateServeConfig(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-quick", "-exp", "serve", "-burst", "0.5"}
+	if status := run(args, &out, &errw); status != 2 {
+		t.Fatalf("status %d, want 2 (stderr: %s)", status, errw.String())
+	}
+	if !strings.Contains(errw.String(), "Burst") {
+		t.Fatalf("stderr does not name the rejected field: %s", errw.String())
+	}
+	if !strings.Contains(errw.String(), usageHint) {
+		t.Fatalf("stderr missing usage hint: %s", errw.String())
 	}
 }
 
@@ -253,6 +278,72 @@ func TestRunChaosMatchesSeqSimCLI(t *testing.T) {
 	}
 }
 
+// TestRunFleetMatchesSeqSimCLI checks the fleet experiment end to end:
+// the routed, autoscaled fleet under flash-crowd load must produce
+// identical experiment data through the CLI on the sharded wheels and
+// the sequential reference loop, the six-term ledger must conserve, and
+// the autoscaler must demonstrably drain off-peak.
+func TestRunFleetMatchesSeqSimCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full serve calibration")
+	}
+	dir := t.TempDir()
+	invoke := func(name string, extra ...string) map[string]json.RawMessage {
+		jsonPath := filepath.Join(dir, name+".json")
+		args := append([]string{"-quick", "-exp", "fleet", "-pools", "4", "-blades", "2",
+			"-rate", "1.5", "-servesed", "7", "-json", jsonPath}, extra...)
+		var out, errw bytes.Buffer
+		if status := run(args, &out, &errw); status != 0 {
+			t.Fatalf("%s: status %d, stderr: %s", name, status, errw.String())
+		}
+		if !strings.Contains(out.String(), "Fleet-scale serving") {
+			t.Fatalf("%s: table output missing fleet render: %s", name, out.String())
+		}
+		return experimentData(t, readFileT(t, jsonPath))
+	}
+	seq := invoke("seq", "-seqsim")
+	sharded := invoke("shards8", "-shards", "8")
+	if string(sharded["fleet"]) != string(seq["fleet"]) {
+		t.Fatalf("-shards 8 diverged from -seqsim:\n got %s\nwant %s", sharded["fleet"], seq["fleet"])
+	}
+	var res struct {
+		Fleet struct {
+			Requests      int `json:"requests"`
+			Served        int `json:"served"`
+			Late          int `json:"late"`
+			ShedRejected  int `json:"shed_rejected"`
+			ShedExpired   int `json:"shed_expired"`
+			ShedRerouted  int `json:"shed_rerouted"`
+			ShedExhausted int `json:"shed_exhausted"`
+			ShedGlobal    int `json:"shed_global"`
+			Stats         struct {
+				Pools      int `json:"pools"`
+				ActiveMin  int `json:"active_min"`
+				ScaleDowns int `json:"scale_downs"`
+			} `json:"fleet"`
+		} `json:"fleet"`
+		GoodputFleet  int `json:"goodput_fleet"`
+		GoodputSingle int `json:"goodput_single"`
+	}
+	if err := json.Unmarshal(seq["fleet"], &res); err != nil {
+		t.Fatalf("fleet data did not parse: %v", err)
+	}
+	f := res.Fleet
+	sum := f.Served + f.ShedRejected + f.ShedExpired + f.ShedRerouted + f.ShedExhausted + f.ShedGlobal
+	if sum != f.Requests {
+		t.Fatalf("fleet ledger leaks: %d != %d requests", sum, f.Requests)
+	}
+	if f.Stats.Pools != 4 {
+		t.Fatalf("fleet ran %d pools, want 4", f.Stats.Pools)
+	}
+	if f.Stats.ScaleDowns == 0 || f.Stats.ActiveMin >= f.Stats.Pools {
+		t.Fatalf("autoscaler never drained: %s", seq["fleet"])
+	}
+	if res.GoodputFleet <= res.GoodputSingle {
+		t.Fatalf("fleet goodput %d does not beat the single pool %d", res.GoodputFleet, res.GoodputSingle)
+	}
+}
+
 // TestRunProfilesWritten checks -cpuprofile/-memprofile produce non-empty
 // pprof artifacts without perturbing the run's exit status.
 func TestRunProfilesWritten(t *testing.T) {
@@ -292,5 +383,9 @@ func TestRunBenchRefresh(t *testing.T) {
 	sweepData := experimentData(t, readFileT(t, filepath.Join(dir, "BENCH_sweep.json")))
 	if _, ok := sweepData["fig7"]; !ok {
 		t.Fatalf("BENCH_sweep.json missing fig7 experiment: %v", sweepData)
+	}
+	fleetData := experimentData(t, readFileT(t, filepath.Join(dir, "BENCH_fleet.json")))
+	if _, ok := fleetData["fleet"]; !ok {
+		t.Fatalf("BENCH_fleet.json missing fleet experiment: %v", fleetData)
 	}
 }

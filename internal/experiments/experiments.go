@@ -49,6 +49,9 @@ type Config struct {
 	Collect *Collector
 	// Serve sizes the serving-layer experiment (-exp serve).
 	Serve ServeConfig
+	// Fleet sizes the fleet-scale serving experiment (-exp fleet); the
+	// per-pool blade count and stream come from Serve.
+	Fleet FleetConfig
 	// Shards bounds the workers driving the serve experiment's per-blade
 	// event wheels (0 = GOMAXPROCS). Never affects results.
 	Shards int

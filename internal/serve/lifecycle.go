@@ -27,6 +27,13 @@ import (
 //	 └────────────── first completion ◄──────────────┘
 //	up/warming ──blade-stall──► stalled ──delay──► (previous state)
 //	any live state ──blade-crash──► down (terminal)
+//
+// The fleet autoscaler (DESIGN.md §13) adds one more state: a drained
+// pool's blades park once idle and empty (powered down, warmth lost),
+// and a later scale-up revives them through warming — the same
+// warmup-recharge path a restart takes.
+//
+//	draining (parkPending) ──idle+empty──► parked ──scale-up──► warming
 type health int
 
 const (
@@ -35,6 +42,7 @@ const (
 	healthStalled
 	healthDown
 	healthWarming
+	healthParked
 )
 
 var healthNames = [...]string{
@@ -43,6 +51,7 @@ var healthNames = [...]string{
 	healthStalled:  "stalled",
 	healthDown:     "down",
 	healthWarming:  "warming",
+	healthParked:   "parked",
 }
 
 func (h health) String() string { return healthNames[h] }
@@ -114,6 +123,11 @@ func (p *pool) applyFault(ev bladeEvent) {
 		}
 		b.crashes++
 		b.health = healthDown
+		// Death cancels whatever was pending: the paired restart fire
+		// finds the blade down and no-ops, and a queued autoscale park
+		// has nothing left to park.
+		b.restartPending = false
+		b.parkPending = false
 		trace.RecordInstant(b.tr, b.lane, p.now, "blade-crash")
 		p.killBlade(b)
 	case evDrainStart:
@@ -121,11 +135,19 @@ func (p *pool) applyFault(ev bladeEvent) {
 			return
 		}
 		b.health = healthDraining
+		// restartPending pairs this drain with its evRestartFire: a fire
+		// whose own drain no-op'd (blade was already draining, stalled,
+		// or parked) must not hijack an unrelated drain — in particular
+		// an autoscale drain, where firing would re-charge warmup on a
+		// blade that never restarted.
+		b.restartPending = true
 		trace.RecordInstant(b.tr, b.lane, p.now, "restart: draining")
 	case evRestartFire:
-		if b.health != healthDraining {
+		if b.health != healthDraining || !b.restartPending {
 			return
 		}
+		b.restartPending = false
+		b.parkPending = false // the restart supersedes a queued autoscale park
 		b.restarts++
 		b.health = healthWarming
 		b.warm = false // warmup re-charged on the next dispatch
@@ -155,11 +177,34 @@ func (p *pool) applyFault(ev bladeEvent) {
 			return
 		}
 		b.health = b.stallRestore
+		if b.parkPending {
+			// An autoscale drain arrived mid-stall: the blade resumes
+			// directly into draining (it still serves out its queue, then
+			// parks) instead of its pre-stall admittable state.
+			b.health = healthDraining
+		}
 		trace.RecordInstant(b.tr, b.lane, p.now, "stall-end")
 		if !b.busy && len(b.queue) > 0 {
 			p.dispatch(b, p.now)
 		}
+		p.maybePark(b, p.now)
 	}
+}
+
+// maybePark completes an autoscale drain: a draining blade with the park
+// flag set powers down once it has neither in-flight work nor queue.
+// Parking loses warmth, so a later scale-up re-charges warmup exactly
+// like a restart. Only blade-owned state is touched, so the call is
+// legal both from the coordinator and from the blade's own wheel (the
+// completion path).
+func (p *pool) maybePark(b *blade, now sim.Time) {
+	if !b.parkPending || b.health != healthDraining || b.busy || len(b.queue) > 0 {
+		return
+	}
+	b.parkPending = false
+	b.health = healthParked
+	b.warm = false
+	trace.RecordInstant(b.tr, b.lane, now, "autoscale: parked")
 }
 
 // killBlade evicts b's work at p.now: the in-flight batch first (in
@@ -283,26 +328,42 @@ func (p *pool) faultEligible(reqs []Request, ai int) bool {
 
 // coordClass orders same-instant coordinator events. Completions (wheel
 // events) always run first — RunUntil is inclusive of the barrier
-// instant — then faults, then re-admissions, then fresh arrivals. The
-// sequential loop applies the identical priority, which is what keeps
-// the two event loops byte-identical under chaos schedules.
+// instant — then faults, then autoscale ticks, then re-admissions, then
+// fresh arrivals. The sequential loop applies the identical priority,
+// which is what keeps the two event loops byte-identical under chaos
+// schedules.
 type coordClass int
 
 const (
 	coordFault coordClass = iota
+	coordTick
 	coordReroute
 	coordArrival
 )
 
+// nextTick reports the next armed autoscale sample instant (Never when
+// the fleet runs without an autoscaler).
+func (p *pool) nextTick() sim.Time {
+	if p.fleet == nil || p.fleet.scaler == nil {
+		return sim.Never
+	}
+	return p.fleet.scaler.next
+}
+
 // nextCoord reports the earliest pending coordinator event and its
-// class; priority breaks timestamp ties. Fault instants participate only
-// while faultEligible holds.
+// class; priority breaks timestamp ties. Fault and tick instants
+// participate only while faultEligible holds — once the last request
+// resolves, remaining faults stay armed-but-unfired and the autoscaler
+// stops sampling, in both event loops.
 func (p *pool) nextCoord(reqs []Request, ai int) (sim.Time, coordClass, bool) {
 	var t sim.Time
 	var class coordClass
 	ok := false
 	if p.fi < len(p.faultSched) && p.faultEligible(reqs, ai) {
 		t, class, ok = p.faultSched[p.fi].at, coordFault, true
+	}
+	if tick := p.nextTick(); tick != sim.Never && p.faultEligible(reqs, ai) && (!ok || tick < t) {
+		t, class, ok = tick, coordTick, true
 	}
 	if len(p.reroutes) > 0 && (!ok || p.reroutes[0].at < t) {
 		t, class, ok = p.reroutes[0].at, coordReroute, true

@@ -51,12 +51,45 @@ func (r *splitmix64) float() float64 {
 	return float64(r.next()>>11) / (1 << 53)
 }
 
+// maxGap bounds one inter-arrival gap and maxArrival bounds an absolute
+// arrival timestamp. FromSeconds converts through float64, so a gap
+// drawn at an extreme rate (tiny -rate, or a NaN survived from upstream)
+// would otherwise overflow the int64 femtosecond representation into an
+// implementation-defined — typically negative — value, making the stream
+// run backwards and breaking same-instant FIFO order. The absolute cap
+// sits well below sim.Never so deadline arithmetic on a clamped arrival
+// can never collide with the "no deadline" sentinel, and maxGap is low
+// enough that one clamped step can never push a clamped timestamp past
+// the int64 range.
+const (
+	maxGap     = sim.Duration(math.MaxInt64 / 4)
+	maxArrival = sim.Time(math.MaxInt64 / 2)
+)
+
+// maxGapSeconds is maxGap expressed in seconds, the clamp threshold
+// applied before the float→int64 conversion where the overflow happens.
+var maxGapSeconds = float64(maxGap) / 1e15
+
+// clampGap turns a gap drawn in seconds into a bounded virtual duration.
+// Non-finite and negative draws (possible only from degenerate rates
+// that Validate rejects, kept as defense in depth) clamp to the maximum
+// gap, pushing the stream deterministically into the far future rather
+// than backwards.
+func clampGap(s float64) sim.Duration {
+	if !(s >= 0) || s >= maxGapSeconds {
+		return maxGap
+	}
+	return sim.FromSeconds(s)
+}
+
 // exp returns an exponential draw with the given rate (per virtual
-// second), as a virtual duration.
+// second), as a bounded virtual duration. Exactly one uniform draw is
+// consumed regardless of clamping, so clamped and unclamped streams stay
+// aligned.
 func (r *splitmix64) exp(rate float64) sim.Duration {
 	// Log1p(-u) keeps the tail exact for u near 0 and can never hit
 	// log(0) since u < 1.
-	return sim.FromSeconds(-math.Log1p(-r.float()) / rate)
+	return clampGap(-math.Log1p(-r.float()) / rate)
 }
 
 // arrivals generates the stream: n requests at an average of ratePerSec
@@ -72,24 +105,178 @@ func arrivals(seed uint64, n int, ratePerSec, burst, tallFrac float64, deadline 
 	out := make([]Request, 0, n)
 	t := sim.Time(0)
 	for len(out) < n {
-		t = t.Add(rng.exp(ratePerSec / burst))
-		// Geometric burst size, mean `burst`: count failures of a
-		// p = 1/burst trial.
-		size := 1
-		for rng.float() >= 1/burst {
-			size++
+		t = nextArrivalTime(t, rng.exp(ratePerSec/burst))
+		for i, size := 0, burstSize(&rng, burst, n); i < size && len(out) < n; i++ {
+			out = append(out, makeRequest(&rng, len(out), t, tallFrac, deadline))
 		}
-		for i := 0; i < size && len(out) < n; i++ {
-			r := Request{
-				ID:       len(out),
-				Arrival:  t,
-				Tall:     rng.float() < tallFrac,
-				Deadline: sim.Never,
+	}
+	return out
+}
+
+// nextArrivalTime advances the stream clock by one bounded gap, capping
+// the absolute timestamp so the stream is monotone non-decreasing all
+// the way to the clamp ceiling (never overflowing, never reaching the
+// Never sentinel).
+func nextArrivalTime(t sim.Time, gap sim.Duration) sim.Time {
+	t = t.Add(gap)
+	if t > maxArrival {
+		t = maxArrival
+	}
+	return t
+}
+
+// burstSize draws a geometric burst size with mean burst (count failures
+// of a p = 1/burst trial), capped at the stream length so a degenerate
+// success probability (burst huge enough that 1/burst underflows to 0)
+// terminates instead of spinning.
+func burstSize(rng *splitmix64, burst float64, n int) int {
+	size := 1
+	for size < n && rng.float() >= 1/burst {
+		size++
+	}
+	return size
+}
+
+func makeRequest(rng *splitmix64, id int, t sim.Time, tallFrac float64, deadline sim.Duration) Request {
+	r := Request{
+		ID:       id,
+		Arrival:  t,
+		Tall:     rng.float() < tallFrac,
+		Deadline: sim.Never,
+	}
+	if deadline > 0 {
+		r.Deadline = t.Add(deadline)
+	}
+	return r
+}
+
+// RateModel shapes the offered rate over virtual time: a diurnal
+// sinusoid plus seeded flash-crowd windows, realized by thinning a
+// homogeneous candidate stream drawn at the peak rate. The shaped stream
+// is still a pure function of (seed, model): flash-window placement
+// comes from an independent splitmix64 stream derived from the same
+// seed, so the model changes nothing outside its windows' influence on
+// the thinning draws.
+type RateModel struct {
+	// DiurnalAmp is the relative amplitude A of the diurnal sinusoid:
+	// the instantaneous base rate is base × (1 + A·sin(2πt/Period)),
+	// 0 ≤ A ≤ 1. Zero leaves the base rate flat.
+	DiurnalAmp float64
+	// Period is the diurnal period in virtual time; zero selects the
+	// expected span of the unshaped stream (one simulated "day" per
+	// run).
+	Period sim.Duration
+	// FlashCount is how many flash-crowd windows each period carries.
+	FlashCount int
+	// FlashFactor multiplies the instantaneous rate inside a flash
+	// window; values ≤ 1 disable the flashes.
+	FlashFactor float64
+	// FlashFrac is each flash window's length as a fraction of the
+	// period (zero selects 1/16).
+	FlashFrac float64
+}
+
+// active reports whether the model shapes the stream at all; an inactive
+// model yields the exact homogeneous arrivals() stream.
+func (m *RateModel) active() bool {
+	return m != nil && (m.DiurnalAmp > 0 || (m.FlashCount > 0 && m.FlashFactor > 1))
+}
+
+// flashSeedSalt derives the flash-window stream from the main seed; any
+// fixed odd constant works, this one is the splitmix64 increment.
+const flashSeedSalt = 0x9e3779b97f4a7c15
+
+// resolved fills the model's defaults against the base stream: the
+// diurnal period and flash-window geometry in absolute virtual time.
+type resolvedModel struct {
+	RateModel
+	period   sim.Duration
+	flashLen sim.Duration
+	starts   []sim.Time // flash-window starts within one period, sorted
+}
+
+func (m RateModel) resolve(seed uint64, n int, ratePerSec float64) resolvedModel {
+	r := resolvedModel{RateModel: m}
+	if r.FlashFactor < 1 {
+		r.FlashFactor = 1
+		r.FlashCount = 0
+	}
+	if r.FlashFrac <= 0 {
+		r.FlashFrac = 1.0 / 16
+	}
+	r.period = m.Period
+	if r.period <= 0 {
+		r.period = clampGap(float64(n) / ratePerSec)
+	}
+	if r.period <= 0 {
+		r.period = sim.Second
+	}
+	r.flashLen = sim.Duration(float64(r.period) * r.FlashFrac)
+	if r.FlashCount > 0 {
+		frng := splitmix64(seed ^ flashSeedSalt)
+		r.starts = make([]sim.Time, r.FlashCount)
+		for i := range r.starts {
+			r.starts[i] = sim.Time(frng.float() * float64(r.period))
+		}
+		// Sorted for a deterministic, early-exit window scan.
+		for i := 1; i < len(r.starts); i++ {
+			for j := i; j > 0 && r.starts[j] < r.starts[j-1]; j-- {
+				r.starts[j], r.starts[j-1] = r.starts[j-1], r.starts[j]
 			}
-			if deadline > 0 {
-				r.Deadline = t.Add(deadline)
-			}
-			out = append(out, r)
+		}
+	}
+	return r
+}
+
+// rate is the instantaneous offered rate at virtual time t, as a
+// multiple of the base rate. Flash windows repeat each period, so a
+// multi-day run sees its flash crowds daily at the same phase.
+func (r *resolvedModel) rate(t sim.Time) float64 {
+	phase := sim.Duration(t) % r.period
+	mult := 1.0
+	if r.DiurnalAmp > 0 {
+		mult *= 1 + r.DiurnalAmp*math.Sin(2*math.Pi*float64(phase)/float64(r.period))
+	}
+	for _, s := range r.starts {
+		if d := sim.Duration(t) % r.period; d >= sim.Duration(s) && d < sim.Duration(s)+r.flashLen {
+			mult *= r.FlashFactor
+			break
+		}
+	}
+	return mult
+}
+
+// peak is the model's maximum rate multiple — the thinning envelope.
+func (r *resolvedModel) peak() float64 {
+	return (1 + r.DiurnalAmp) * r.FlashFactor
+}
+
+// arrivalsShaped generates a non-homogeneous arrival stream by thinning:
+// burst events are drawn at the peak rate and accepted with probability
+// rate(t)/peak, so the accepted process has exactly the shaped intensity
+// while remaining a pure function of the seed. A nil or inactive model
+// yields the exact arrivals() stream, byte for byte.
+func arrivalsShaped(seed uint64, n int, ratePerSec, burst, tallFrac float64, deadline sim.Duration, model *RateModel) []Request {
+	if !model.active() {
+		return arrivals(seed, n, ratePerSec, burst, tallFrac, deadline)
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	m := model.resolve(seed, n, ratePerSec)
+	peak := m.peak()
+	rng := splitmix64(seed)
+	out := make([]Request, 0, n)
+	t := sim.Time(0)
+	for len(out) < n {
+		t = nextArrivalTime(t, rng.exp(ratePerSec*peak/burst))
+		// Thin: one uniform draw per candidate burst event, consumed
+		// whether or not the event survives, keeping the stream aligned.
+		if rng.float() >= m.rate(t)/peak {
+			continue
+		}
+		for i, size := 0, burstSize(&rng, burst, n); i < size && len(out) < n; i++ {
+			out = append(out, makeRequest(&rng, len(out), t, tallFrac, deadline))
 		}
 	}
 	return out

@@ -44,6 +44,12 @@ type blade struct {
 	health       health
 	gen          uint64
 	stallRestore health
+	// restartPending pairs a fault drain with its restart fire so the
+	// fire can't claim an unrelated drain; parkPending marks an
+	// autoscale drain, completed by maybePark once the blade is idle
+	// and empty.
+	restartPending bool
+	parkPending    bool
 
 	dispatches int
 	requests   int
@@ -93,6 +99,18 @@ type pool struct {
 	now      sim.Time
 	sharded  bool
 
+	// fleet is the multi-pool routing/autoscaling layer (DESIGN.md §13);
+	// nil selects the classic single-pool admission path. In fleet mode
+	// p.blades still holds every blade (pool-major, blade-index order) —
+	// the wheels, the ledger merge, and the lifecycle machinery are
+	// shared — while fleet.pools partitions them for routing.
+	fleet *fleetState
+
+	// lastTouched is the wheel index the most recent admit dispatched or
+	// queued into (−1 when the request was shed), letting the lookahead
+	// coordinator refresh its horizon in O(1) via sim.HorizonAfter.
+	lastTouched int
+
 	shedRejected   int
 	placeFallbacks int
 
@@ -128,18 +146,25 @@ type pool struct {
 const coordLane = "coordinator"
 
 func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
+	total := cfg.Blades
+	if cfg.Pools > 0 {
+		// Fleet mode: Blades is the per-pool size, the run owns
+		// Pools × Blades blades in pool-major order.
+		total = cfg.Blades * cfg.Pools
+	}
 	p := &pool{
-		cfg:      cfg,
-		cal:      cal,
-		deadline: deadline,
-		ordBuf:   make([]*blade, cfg.Blades),
-		scoreBuf: make([]sim.Duration, cfg.Blades),
-		idxBuf:   make([]int, cfg.Blades),
+		cfg:         cfg,
+		cal:         cal,
+		deadline:    deadline,
+		lastTouched: -1,
+		ordBuf:      make([]*blade, total),
+		scoreBuf:    make([]sim.Duration, total),
+		idxBuf:      make([]int, total),
 	}
 	if cfg.Instrument {
 		p.ctr = trace.NewRecorder()
 	}
-	for i := 0; i < cfg.Blades; i++ {
+	for i := 0; i < total; i++ {
 		b := &blade{
 			id:    i,
 			lane:  fmt.Sprintf("blade%d", i),
@@ -151,6 +176,9 @@ func newPool(cfg Config, cal *Calibration, deadline sim.Duration) *pool {
 			b.tr = b.rec
 		}
 		p.blades = append(p.blades, b)
+	}
+	if cfg.Pools > 0 {
+		p.fleet = newFleet(p)
 	}
 	return p
 }
@@ -188,14 +216,18 @@ func (p *pool) run(reqs []Request) {
 		if p.fi < len(p.faultSched) {
 			nextFault = p.faultSched[p.fi].at
 		}
+		nextTick := p.nextTick()
 		switch {
-		case doneT <= nextFault && doneT <= nextRer && doneT <= nextArr:
+		case doneT <= nextFault && doneT <= nextTick && doneT <= nextRer && doneT <= nextArr:
 			p.now = doneT
 			p.complete(db)
-		case nextFault <= nextRer && nextFault <= nextArr:
+		case nextFault <= nextTick && nextFault <= nextRer && nextFault <= nextArr:
 			p.now = nextFault
 			p.applyFault(p.faultSched[p.fi])
 			p.fi++
+		case nextTick <= nextRer && nextTick <= nextArr:
+			p.now = nextTick
+			p.autoscaleTick()
 		case nextRer <= nextArr:
 			p.now = nextRer
 			p.admit(p.popReroute())
@@ -248,17 +280,19 @@ func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 	}
 	p.sharded = true
 	ai := 0
-	if p.fi < len(p.faultSched) {
-		sh.SetFence(p.faultSched[p.fi].at)
-	}
+	p.setFence(sh)
 	err := sh.Run(
 		func() (sim.Time, bool) {
+			h := sh.Horizon()
 			for {
 				t, class, ok := p.nextCoord(reqs, ai)
 				if !ok {
 					return 0, false
 				}
-				if !lookahead || class == coordFault || t >= sh.Horizon() {
+				// Coordinator-scheduled instants (faults, autoscale
+				// ticks) are always barriers: they read and write state
+				// across the pool, so the wheels must be quiescent.
+				if !lookahead || class == coordFault || class == coordTick || t >= h {
 					return t, true
 				}
 				// p.now drives placement scoring and deadline shedding,
@@ -272,6 +306,11 @@ func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 					ai++
 				}
 				p.windowAdmits++
+				// Admission touches at most one wheel, so the horizon
+				// refresh is O(1) instead of an all-wheels rescan.
+				if p.lastTouched >= 0 {
+					h = sh.HorizonAfter(p.lastTouched, h)
+				}
 			}
 		},
 		func(t sim.Time) {
@@ -291,11 +330,16 @@ func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 				p.applyFault(p.faultSched[p.fi])
 				p.fi++
 			}
-			if p.fi < len(p.faultSched) {
-				sh.SetFence(p.faultSched[p.fi].at)
-			} else {
-				sh.SetFence(sim.Never)
+			for p.nextTick() == t {
+				if !p.faultEligible(reqs, ai) {
+					// Run over: the autoscaler stops sampling, exactly as
+					// the sequential loop returns before a trailing tick.
+					p.fleet.scaler.next = sim.Never
+					break
+				}
+				p.autoscaleTick()
 			}
+			p.setFence(sh)
 			for len(p.reroutes) > 0 && p.reroutes[0].at == t {
 				p.admit(p.popReroute())
 			}
@@ -308,6 +352,21 @@ func (p *pool) runSharded(reqs []Request, workers int, lookahead bool) error {
 	p.epochs = sh.Epochs()
 	p.barrierWait = sh.BarrierWait()
 	return err
+}
+
+// setFence pins the engine fence at the earliest coordinator-scheduled
+// instant — the next planned fault or autoscale tick — so lookahead
+// windows structurally cannot admit past it even before any wheel knows
+// about it.
+func (p *pool) setFence(sh *sim.ShardedEngine) {
+	fence := sim.Never
+	if p.fi < len(p.faultSched) {
+		fence = p.faultSched[p.fi].at
+	}
+	if tick := p.nextTick(); tick < fence {
+		fence = tick
+	}
+	sh.SetFence(fence)
 }
 
 // earliestBusy returns the busy blade finishing first (lowest index on
@@ -333,26 +392,52 @@ func (p *pool) estOne(r Request) sim.Duration {
 	return p.cal.service(svcKey{Scheme: SchemeJob, Tall: r.Tall, K: 1}).Service
 }
 
-// placeOrder ranks the admittable blades for admitting r — lifecycle
-// health is the circuit breaker: draining, stalled, and dead blades
-// never appear in the order. The estimator policy orders by earliest
-// estimated finish (remaining in-flight work plus the estimated backlog
-// of queued requests, plus warmup for a cold or restarted blade); the
-// round-robin policy — and the estimator when its scores cannot separate
-// the blades — uses plain rotation. With every blade healthy the order
-// is exactly the pre-lifecycle one. The returned slice is pool scratch,
-// valid until the next call (coordinator-only); it is empty when no
-// blade is admittable.
+// bladeScore is the estimator's finish frontier for one blade: the
+// remaining in-flight work, plus warmup for a cold or restarted blade,
+// plus the estimated backlog of its queue. Both the per-pool placement
+// order and the fleet router's frontier comparison rank by it.
+// Coordinator-only (reads cross-blade state through p.now).
+func (p *pool) bladeScore(b *blade) sim.Duration {
+	var s sim.Duration
+	if b.busy {
+		s += b.done.Sub(p.now)
+	}
+	if !b.warm {
+		s += p.cal.service(svcKey{Scheme: SchemeJob, Tall: false, K: 1}).Warmup
+	}
+	for _, q := range b.queue {
+		s += p.estOne(q)
+	}
+	return s
+}
+
+// placeOrder ranks the whole pool's admittable blades (the classic
+// single-pool path; the fleet router ranks within the routed pool via
+// placeOrderIn).
 func (p *pool) placeOrder(r Request) []*blade {
-	n := len(p.blades)
+	return p.placeOrderIn(r, p.blades, &p.rr)
+}
+
+// placeOrderIn ranks the admittable blades of one candidate set for
+// admitting r — lifecycle health is the circuit breaker: draining,
+// stalled, parked, and dead blades never appear in the order. The
+// estimator policy orders by earliest estimated finish (bladeScore); the
+// round-robin policy — and the estimator when its scores cannot separate
+// the blades — uses plain rotation over rr, which belongs to the
+// candidate set (the pool shard in fleet mode). With every blade healthy
+// the order is exactly the pre-lifecycle one. The returned slice is pool
+// scratch, valid until the next call (coordinator-only); it is empty
+// when no blade is admittable.
+func (p *pool) placeOrderIn(r Request, blades []*blade, rr *int) []*blade {
+	n := len(blades)
 	rot := func() []*blade {
 		out := p.ordBuf[:0]
 		for i := 0; i < n; i++ {
-			if b := p.blades[(p.rr+i)%n]; b.health.admittable() {
+			if b := blades[(*rr+i)%n]; b.health.admittable() {
 				out = append(out, b)
 			}
 		}
-		p.rr = (p.rr + 1) % n
+		*rr = (*rr + 1) % n
 		return out
 	}
 	if p.cfg.Policy == PolicyRoundRobin || !p.cal.Conclusive() {
@@ -360,21 +445,11 @@ func (p *pool) placeOrder(r Request) []*blade {
 	}
 	scores := p.scoreBuf[:n]
 	idx := p.idxBuf[:0]
-	for i, b := range p.blades {
+	for i, b := range blades {
 		if !b.health.admittable() {
 			continue
 		}
-		var s sim.Duration
-		if b.busy {
-			s += b.done.Sub(p.now)
-		}
-		if !b.warm {
-			s += p.cal.service(svcKey{Scheme: SchemeJob, Tall: false, K: 1}).Warmup
-		}
-		for _, q := range b.queue {
-			s += p.estOne(q)
-		}
-		scores[i] = s
+		scores[i] = p.bladeScore(b)
 		idx = append(idx, i)
 	}
 	if len(idx) == 0 {
@@ -398,29 +473,48 @@ func (p *pool) placeOrder(r Request) []*blade {
 	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
 	out := p.ordBuf[:len(idx)]
 	for i, j := range idx {
-		out[i] = p.blades[j]
+		out[i] = blades[j]
 	}
 	return out
+}
+
+// admitInto places r on the first blade of order with queue room,
+// dispatching immediately if that blade is idle, and reports whether
+// the request was admitted. The touched wheel is recorded for the
+// lookahead coordinator's O(1) horizon refresh.
+func (p *pool) admitInto(r Request, order []*blade) bool {
+	for _, b := range order {
+		if len(b.queue) < p.cfg.MaxQueue {
+			b.queue = append(b.queue, r)
+			p.lastTouched = b.id
+			if !b.busy {
+				p.dispatch(b, p.now)
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // admit places one request (a fresh arrival or a re-routed eviction) on
 // the first blade in policy preference order with queue room,
 // dispatching immediately if that blade is idle. Requests finding every
 // candidate queue full — or no admittable blade at all — are shed
-// (backpressure). Admission always runs on the coordinator: in the
-// sharded run the wheels are quiescent at the barrier, so the
-// synchronous dispatch here observes exactly the state the sequential
-// loop would.
+// (backpressure). In fleet mode the router first picks the pool
+// (consistent hashing with estimator override), and exhausted candidacy
+// is global backpressure (shed_global). Admission always runs on the
+// coordinator: in the sharded run the wheels are quiescent at the
+// barrier, so the synchronous dispatch here observes exactly the state
+// the sequential loop would.
 func (p *pool) admit(r Request) {
+	p.lastTouched = -1
+	if p.fleet != nil {
+		p.admitFleet(r)
+		return
+	}
 	order := p.placeOrder(r)
-	for _, b := range order {
-		if len(b.queue) < p.cfg.MaxQueue {
-			b.queue = append(b.queue, r)
-			if !b.busy {
-				p.dispatch(b, p.now)
-			}
-			return
-		}
+	if p.admitInto(r, order) {
+		return
 	}
 	p.shedRejected++
 	if len(order) > 0 {
@@ -605,4 +699,8 @@ func (p *pool) complete(b *blade) {
 		b.health = healthUp
 	}
 	p.dispatch(b, t)
+	// An autoscale-drained blade parks once its queue is served out.
+	// maybePark touches only blade-owned state, so it is safe here on
+	// the blade's own wheel.
+	p.maybePark(b, t)
 }

@@ -54,12 +54,15 @@ type Report struct {
 	ShedRejected int `json:"shed_rejected"`
 	ShedExpired  int `json:"shed_expired"`
 	// Lifecycle shed reasons: a re-routed request whose backoff overshot
-	// its deadline, and one that exhausted its retry budget. Together
-	// with the two above, the ledger conserves exactly:
+	// its deadline, and one that exhausted its retry budget. ShedGlobal
+	// is the fleet router's global backpressure: no active pool had any
+	// admittable blade with queue room (always 0 outside fleet mode).
+	// The six-term ledger conserves exactly:
 	// Served + ShedRejected + ShedExpired + ShedRerouted + ShedExhausted
-	// == Requests.
+	// + ShedGlobal == Requests.
 	ShedRerouted  int `json:"shed_rerouted"`
 	ShedExhausted int `json:"shed_exhausted"`
+	ShedGlobal    int `json:"shed_global"`
 
 	// Fleet lifecycle outcomes: re-route events and the lifecycle
 	// transitions that actually fired (armed-but-unfired plan entries
@@ -82,6 +85,10 @@ type Report struct {
 
 	PerBlade []BladeStats `json:"per_blade"`
 
+	// Fleet is the routing/autoscaling layer's outcome, present only in
+	// fleet mode (Config.Pools > 0).
+	Fleet *FleetStats `json:"fleet,omitempty"`
+
 	// Coordinator synchronization stats (sharded runs only; zero under
 	// SeqSim). Excluded from JSON: the serialized report must stay
 	// byte-identical across -seqsim, -lookahead on/off, and every
@@ -97,6 +104,28 @@ type Report struct {
 	// with Config.Instrument, both excluded from JSON.
 	Coordinator *trace.Recorder   `json:"-"`
 	Sim         *metrics.Snapshot `json:"-"`
+}
+
+// PoolStats is one fleet pool's share of the run.
+type PoolStats struct {
+	Pool   int  `json:"pool"`
+	Blades int  `json:"blades"`
+	Active bool `json:"active"`
+	Routed int  `json:"routed"`
+	Served int  `json:"served"`
+}
+
+// FleetStats is the fleet router and autoscaler outcome (fleet mode
+// only). ActiveMin is the fewest simultaneously active pools the
+// autoscaler reached — the off-peak drain depth.
+type FleetStats struct {
+	Pools           int         `json:"pools"`
+	ActiveFinal     int         `json:"active_final"`
+	ActiveMin       int         `json:"active_min"`
+	ScaleUps        int         `json:"scale_ups"`
+	ScaleDowns      int         `json:"scale_downs"`
+	RouterOverrides int         `json:"router_overrides"`
+	PerPool         []PoolStats `json:"per_pool"`
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of the sample by the
@@ -158,13 +187,19 @@ func (p *pool) report(offered float64) *Report {
 			schemes[s.String()] = n
 		}
 	}
+	rateMultiple := p.cfg.Rate
+	if p.cfg.OfferedRPS > 0 && p.cal.perBlade > 0 {
+		// The pinned absolute rate defines the multiple, not the config
+		// knob it overrode.
+		rateMultiple = offered / (p.cal.perBlade * float64(len(p.blades)))
+	}
 	r := &Report{
 		Policy:              p.cfg.Policy.String(),
-		Blades:              p.cfg.Blades,
+		Blades:              len(p.blades),
 		Requests:            p.cfg.Requests,
 		PerBladeCapacityRPS: p.cal.perBlade,
 		OfferedRPS:          offered,
-		RateMultiple:        p.cfg.Rate,
+		RateMultiple:        rateMultiple,
 		Deadline:            p.deadline,
 		Served:              served,
 		Late:                late,
@@ -188,6 +223,25 @@ func (p *pool) report(offered float64) *Report {
 	}
 	if batches > 0 {
 		r.MeanBatch = float64(batchRequests) / float64(batches)
+	}
+	if f := p.fleet; f != nil {
+		r.ShedGlobal = f.shedGlobal
+		fs := &FleetStats{
+			Pools:           len(f.pools),
+			ActiveFinal:     f.activeCount(),
+			ActiveMin:       f.activeMin,
+			ScaleUps:        f.scaleUps,
+			ScaleDowns:      f.scaleDowns,
+			RouterOverrides: f.overrides,
+		}
+		for _, pl := range f.pools {
+			ps := PoolStats{Pool: pl.id, Blades: len(pl.blades), Active: pl.active, Routed: pl.routed}
+			for _, b := range pl.blades {
+				ps.Served += b.served
+			}
+			fs.PerPool = append(fs.PerPool, ps)
+		}
+		r.Fleet = fs
 	}
 	if served > 0 && lastDone > 0 {
 		r.AchievedRPS = float64(served) / lastDone.Seconds()

@@ -60,6 +60,25 @@ type Config struct {
 	Rate float64
 	// Burst is the mean arrival burst size (1 = plain Poisson arrivals).
 	Burst float64
+	// Pools, when positive, selects fleet mode (DESIGN.md §13): the run
+	// owns Pools independent pools of Blades blades each, routed by
+	// consistent hashing of request geometry with an estimator-aware
+	// override, with global backpressure (shed_global) when every
+	// candidate pool is full. Zero keeps the classic single-pool layout.
+	Pools int
+	// Autoscale, when non-nil in fleet mode, arms the deterministic
+	// autoscaler: pools are activated and drained from virtual-time load
+	// signals sampled on a fixed tick grid (autoscale.go).
+	Autoscale *Autoscale
+	// Load, when non-nil, shapes the arrival rate over virtual time
+	// with a seeded diurnal sinusoid plus flash-crowd windows
+	// (loadgen.go). Nil keeps the homogeneous stream.
+	Load *RateModel
+	// OfferedRPS, when positive, pins the absolute offered load in
+	// requests per virtual second, overriding the Rate-derived value.
+	// Pinning lets two configurations (e.g. a fleet and a single-pool
+	// baseline) consume one byte-identical arrival stream.
+	OfferedRPS float64
 	// TallFrac is the fraction of requests carrying the double-height
 	// frame geometry; only same-geometry requests coalesce.
 	TallFrac float64
@@ -205,10 +224,13 @@ func (c Config) portedConfig(scen marvel.Scenario, tall bool, k int, withFaults 
 	return pc
 }
 
-// Run executes one serve run: calibrate (or reuse cfg.Cal), generate the
-// seeded arrival stream, and play the admission/dispatch event loop to
-// completion.
+// Run executes one serve run: validate and default the config,
+// calibrate (or reuse cfg.Cal), generate the seeded arrival stream, and
+// play the admission/dispatch event loop to completion.
 func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	cal := cfg.Cal
 	if cal == nil {
@@ -221,7 +243,14 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("serve: calibration produced a non-positive per-blade capacity")
 	}
 
-	offered := cfg.Rate * cal.perBlade * float64(cfg.Blades)
+	totalBlades := cfg.Blades
+	if cfg.Pools > 0 {
+		totalBlades = cfg.Blades * cfg.Pools
+	}
+	offered := cfg.OfferedRPS
+	if offered <= 0 {
+		offered = cfg.Rate * cal.perBlade * float64(totalBlades)
+	}
 	deadline := cfg.Deadline
 	if deadline == 0 {
 		best := cal.service(svcKey{Scheme: SchemeJob, Tall: false, K: cfg.MaxBatch})
@@ -237,11 +266,14 @@ func Run(cfg Config) (*Report, error) {
 		deadline = 0
 	}
 
-	reqs := arrivals(cfg.Seed, cfg.Requests, offered, cfg.Burst, cfg.TallFrac, deadline)
+	reqs := arrivalsShaped(cfg.Seed, cfg.Requests, offered, cfg.Burst, cfg.TallFrac, deadline, cfg.Load)
 	p := newPool(cfg, cal, deadline)
 	if err := p.armFleet(cfg.Faults); err != nil {
 		return nil, err
 	}
+	// The expected arrival span is the autoscaler's natural time unit
+	// for its default sample grid.
+	p.armAutoscale(clampGap(float64(cfg.Requests) / offered))
 	if cfg.SeqSim {
 		p.run(reqs)
 	} else if err := p.runSharded(reqs, cfg.Shards, !cfg.NoLookahead); err != nil {

@@ -113,10 +113,10 @@ func TestServeDeterminism(t *testing.T) {
 // stayed blade-index-ordered.
 func checkLedger(t *testing.T, rep *Report) {
 	t.Helper()
-	total := rep.Served + rep.ShedRejected + rep.ShedExpired + rep.ShedRerouted + rep.ShedExhausted
+	total := rep.Served + rep.ShedRejected + rep.ShedExpired + rep.ShedRerouted + rep.ShedExhausted + rep.ShedGlobal
 	if total != rep.Requests {
-		t.Fatalf("ledger leaks: served %d + rejected %d + expired %d + rerouted %d + exhausted %d = %d, want %d",
-			rep.Served, rep.ShedRejected, rep.ShedExpired, rep.ShedRerouted, rep.ShedExhausted, total, rep.Requests)
+		t.Fatalf("ledger leaks: served %d + rejected %d + expired %d + rerouted %d + exhausted %d + global %d = %d, want %d",
+			rep.Served, rep.ShedRejected, rep.ShedExpired, rep.ShedRerouted, rep.ShedExhausted, rep.ShedGlobal, total, rep.Requests)
 	}
 	for i, bs := range rep.PerBlade {
 		if bs.Blade != i {

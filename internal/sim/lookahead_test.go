@@ -86,6 +86,37 @@ func TestHorizonFence(t *testing.T) {
 	}
 }
 
+// TestHorizonAfter: the O(1) single-wheel refresh must agree with a full
+// Horizon() recompute whenever only that wheel was touched — including
+// under a fence, which HorizonAfter never needs to re-read because
+// touching a wheel cannot raise the bound.
+func TestHorizonAfter(t *testing.T) {
+	s := NewSharded(3, 1)
+	s.SetFence(9 * Time(Millisecond))
+	s.Wheel(1).At(7*Time(Millisecond), func() {})
+	h := s.Horizon()
+	if h != 7*Time(Millisecond) {
+		t.Fatalf("horizon %v, want 7ms", h)
+	}
+	// An event later than the current bound must not move it.
+	s.Wheel(0).At(8*Time(Millisecond), func() {})
+	if got := s.HorizonAfter(0, h); got != h {
+		t.Fatalf("later event moved the horizon: got %v, want %v", got, h)
+	}
+	// An earlier event on the touched wheel pulls it down, matching the
+	// full recompute.
+	s.Wheel(2).At(2*Time(Millisecond), func() {})
+	got := s.HorizonAfter(2, h)
+	if want := s.Horizon(); got != want || got != 2*Time(Millisecond) {
+		t.Fatalf("HorizonAfter %v, full Horizon %v, want 2ms both", got, want)
+	}
+	// From an unbounded prior the refresh falls to the touched wheel's
+	// own next event.
+	if got := s.HorizonAfter(0, Never); got != 8*Time(Millisecond) {
+		t.Fatalf("HorizonAfter from Never: got %v, want 8ms", got)
+	}
+}
+
 // TestHorizonScheduleNoDoubleRun pins the boundary semantics the serve
 // coordinator relies on: driving barriers by next() = Horizon() runs an
 // event landing exactly on the horizon exactly once, even when it chains

@@ -140,6 +140,22 @@ func (s *ShardedEngine) Horizon() Time {
 	return h
 }
 
+// HorizonAfter is the O(1) refresh of a previously computed horizon when
+// only wheel w has been touched since: scheduling events on a wheel can
+// only pull the horizon earlier, and only through that wheel's own next
+// pending event, so min(prev, wheel w's next event) equals a full
+// Horizon() recompute. A lookahead coordinator admitting a long run of
+// external events into single wheels uses this to avoid rescanning every
+// wheel per admission. prev must be a value returned by Horizon() or
+// HorizonAfter() with no intervening fence change and no wheel other
+// than w touched.
+func (s *ShardedEngine) HorizonAfter(w int, prev Time) Time {
+	if t, ok := s.wheels[w].NextEventTime(); ok && t < prev {
+		return t
+	}
+	return prev
+}
+
 // Run executes the epoch-barrier protocol:
 //
 //	for next() reports a barrier time t:
