@@ -11,16 +11,31 @@
 // is never a regression. Data divergence means the committed baseline is
 // stale — regenerate it with `paperbench -bench-refresh` — and -strict
 // turns that into a failure too.
+//
+// A side that does not exist on disk (a baseline not yet committed, or a
+// fresh run that was never produced) is reported as a missing baseline
+// and treated like data divergence: informational by default, a failure
+// under -strict. A file that exists but does not parse is still a hard
+// usage error (exit 2) — a truncated artifact must never look like a
+// clean pass.
+//
+// Keys prefixed measured_ record host wall-clock facts (executor wall
+// times, worker counts, speedup errors from `paperbench -exp race`) and
+// are skipped during data comparison, like the per-experiment wall_ms:
+// they legitimately differ between machines.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
 	"reflect"
 	"sort"
+	"strings"
 )
 
 type entry struct {
@@ -79,15 +94,34 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "usage: benchdiff [-strict] [-factor F] [-floor MS] baseline.json new.json")
 		return 2
 	}
-	base, err := load(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintf(errw, "benchdiff: %v\n", err)
-		return 2
+	base, berr := load(fs.Arg(0))
+	fresh, ferr := load(fs.Arg(1))
+	// A side that simply isn't there is a staleness condition, not a
+	// crash: report every absent file, then gate on -strict. Any other
+	// load error (unreadable, malformed JSON, no experiments section)
+	// stays a hard usage error.
+	missing := 0
+	for _, side := range []struct {
+		err  error
+		path string
+	}{{berr, fs.Arg(0)}, {ferr, fs.Arg(1)}} {
+		if errors.Is(side.err, iofs.ErrNotExist) {
+			missing++
+			fmt.Fprintf(out, "MISS %s: missing baseline\n", side.path)
+		}
 	}
-	fresh, err := load(fs.Arg(1))
-	if err != nil {
-		fmt.Fprintf(errw, "benchdiff: %v\n", err)
-		return 2
+	if missing > 0 {
+		fmt.Fprintf(out, "benchdiff: %d missing baseline file(s) — regenerate with `paperbench -bench-refresh`\n", missing)
+		if *strict {
+			return 1
+		}
+		return 0
+	}
+	for _, err := range []error{berr, ferr} {
+		if err != nil {
+			fmt.Fprintf(errw, "benchdiff: %v\n", err)
+			return 2
+		}
 	}
 
 	names := map[string]bool{}
@@ -117,9 +151,10 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintf(out, "DATA %s: only in %s\n", name, fs.Arg(0))
 			continue
 		}
-		if !reflect.DeepEqual(b.Data, f.Data) {
+		bd, fd := stripMeasured(b.Data), stripMeasured(f.Data)
+		if !reflect.DeepEqual(bd, fd) {
 			dataDiffs++
-			diffAny(out, name, b.Data, f.Data)
+			diffAny(out, name, bd, fd)
 		}
 		if grow := f.WallMS - b.WallMS; f.WallMS > *factor*b.WallMS && grow > *floor {
 			regressions++
@@ -143,6 +178,35 @@ func run(args []string, out, errw io.Writer) int {
 	default:
 		fmt.Fprintln(out, "benchdiff: OK — data identical, wall times within threshold")
 		return 0
+	}
+}
+
+// measuredPrefix marks JSON keys that record host wall-clock facts
+// (the race experiment's measured_* fields). They vary machine to
+// machine by design, so they are invisible to the data comparison.
+const measuredPrefix = "measured_"
+
+// stripMeasured returns v with every measured_-prefixed map key
+// removed, recursively.
+func stripMeasured(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, val := range x {
+			if strings.HasPrefix(k, measuredPrefix) {
+				continue
+			}
+			out[k] = stripMeasured(val)
+		}
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i := range x {
+			out[i] = stripMeasured(x[i])
+		}
+		return out
+	default:
+		return v
 	}
 }
 

@@ -119,7 +119,100 @@ func TestBenchdiffUsage(t *testing.T) {
 	if !strings.Contains(errw.String(), "usage: benchdiff") {
 		t.Fatalf("stderr missing usage: %s", errw.String())
 	}
-	if status := run([]string{"missing-a.json", "missing-b.json"}, &out, &errw); status != 2 {
-		t.Fatalf("missing files: status %d, want 2", status)
+}
+
+// TestBenchdiffMissingFiles covers all four presence combinations: a
+// side that does not exist reports "missing baseline" and fails only
+// under -strict; it must never exit 2 (that is reserved for files that
+// exist but cannot be parsed) and never read as a clean pass under
+// -strict.
+func TestBenchdiffMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	present := write(t, dir, "present.json", baseDoc)
+	absent := filepath.Join(dir, "no-such.json")
+
+	cases := []struct {
+		name        string
+		a, b        string
+		strict      bool
+		status      int
+		wantMissing int
+		wantOK      bool
+	}{
+		{"both present", present, present, false, 0, 0, true},
+		{"both present strict", present, present, true, 0, 0, true},
+		{"base missing", absent, present, false, 0, 1, false},
+		{"fresh missing", present, absent, false, 0, 1, false},
+		{"both missing", absent, absent, false, 0, 2, false},
+		{"base missing strict", absent, present, true, 1, 1, false},
+		{"fresh missing strict", present, absent, true, 1, 1, false},
+		{"both missing strict", absent, absent, true, 1, 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			args := []string{}
+			if tc.strict {
+				args = append(args, "-strict")
+			}
+			args = append(args, tc.a, tc.b)
+			if status := run(args, &out, &errw); status != tc.status {
+				t.Fatalf("status %d, want %d\nout: %s\nerr: %s", status, tc.status, out.String(), errw.String())
+			}
+			if got := strings.Count(out.String(), "missing baseline\n"); got != tc.wantMissing {
+				t.Fatalf("%d 'missing baseline' lines, want %d:\n%s", got, tc.wantMissing, out.String())
+			}
+			if ok := strings.Contains(out.String(), "benchdiff: OK"); ok != tc.wantOK {
+				t.Fatalf("OK presence = %v, want %v:\n%s", ok, tc.wantOK, out.String())
+			}
+		})
+	}
+}
+
+// TestBenchdiffMalformedStaysHard pins that a file which exists but does
+// not parse is still exit 2 — distinct from the missing-file path.
+func TestBenchdiffMalformedStaysHard(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.json", baseDoc)
+	bad := write(t, dir, "bad.json", "{truncated")
+	var out, errw bytes.Buffer
+	if status := run([]string{good, bad}, &out, &errw); status != 2 {
+		t.Fatalf("malformed fresh: status %d, want 2\nout: %s", status, out.String())
+	}
+}
+
+// TestBenchdiffSkipsMeasuredKeys pins the clock-domain rule for
+// baselines: measured_* keys (host wall facts from -exp race) may
+// differ freely — even under -strict — while the same change to an
+// unprefixed key is divergence.
+func TestBenchdiffSkipsMeasuredKeys(t *testing.T) {
+	const raceDoc = `{
+  "total_wall_ms": 100,
+  "experiments": {
+    "race": {"wall_ms": 50, "data": {"points": [{"k": 2, "sim_speedup": 1.1, "measured_wall_ns": 12345, "measured_speedup": 1.2}], "measured_workers": 2}}
+  }
+}`
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", raceDoc)
+
+	moved := strings.Replace(raceDoc, `"measured_wall_ns": 12345`, `"measured_wall_ns": 99999`, 1)
+	moved = strings.Replace(moved, `"measured_workers": 2`, `"measured_workers": 16`, 1)
+	fresh := write(t, dir, "fresh.json", moved)
+	var out, errw bytes.Buffer
+	if status := run([]string{"-strict", base, fresh}, &out, &errw); status != 0 {
+		t.Fatalf("measured_ drift failed -strict (status %d):\n%s", status, out.String())
+	}
+	if !strings.Contains(out.String(), "benchdiff: OK") {
+		t.Fatalf("measured_ drift not reported OK:\n%s", out.String())
+	}
+
+	drifted := strings.Replace(raceDoc, `"sim_speedup": 1.1`, `"sim_speedup": 1.3`, 1)
+	fresh2 := write(t, dir, "fresh2.json", drifted)
+	out.Reset()
+	if status := run([]string{"-strict", base, fresh2}, &out, &errw); status != 1 {
+		t.Fatalf("sim drift passed -strict (status %d):\n%s", status, out.String())
+	}
+	if !strings.Contains(out.String(), "sim_speedup") {
+		t.Fatalf("diff does not name the drifted key:\n%s", out.String())
 	}
 }

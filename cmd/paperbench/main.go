@@ -15,6 +15,9 @@
 //	                             # crash/stall/drain, re-routing vs baseline
 //	paperbench -exp fleet        # fleet-scale serving: routed blade pools +
 //	                             # autoscaler vs a static single pool
+//	paperbench -exp race         # run every calibration point for real on the
+//	                             # work-stealing executor and report the
+//	                             # estimator's error vs the wall clock
 //	paperbench -quick            # reduced frames/sets for a fast pass
 //	paperbench -parallel 4       # worker pool for independent runs
 //	paperbench -nocache          # recompute artifacts per run (cold path)
@@ -38,6 +41,10 @@
 //	                             # instant (lookahead off; identical bytes)
 //	paperbench -fullsim          # serve: re-simulate the machine behind every
 //	                             # dispatch and fail on calibration divergence
+//	paperbench -workers 2        # race: executor pool width (0 = GOMAXPROCS;
+//	                             # wall times move, sim/est results never do)
+//	paperbench -reps 3           # race: real-execution repetitions per point
+//	                             # (fastest wall time wins)
 //	paperbench -pools 4          # fleet: number of routed blade pools
 //	paperbench -autoscale=false  # fleet: disarm the virtual-time autoscaler
 //	paperbench -flash=false      # fleet: drop the flash-crowd windows (keep
@@ -97,9 +104,10 @@ type jsonEntry struct {
 var experimentNames = []string{
 	"table1", "naive", "fig6", "fig7", "eqns", "profile", "hosts",
 	"scaling", "pipeline", "overhead", "faults", "serve", "chaos", "fleet",
+	"race",
 }
 
-const usageHint = "usage: paperbench [-exp all|table1|naive|fig6|fig7|eqns|profile|hosts|scaling|pipeline|overhead|faults|serve|chaos|fleet] [-quick] [-parallel N] [-json F] [-trace F] [-metrics F] (run with -help for all flags)"
+const usageHint = "usage: paperbench [-exp all|table1|naive|fig6|fig7|eqns|profile|hosts|scaling|pipeline|overhead|faults|serve|chaos|fleet|race] [-quick] [-parallel N] [-json F] [-trace F] [-metrics F] (run with -help for all flags)"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -130,6 +138,8 @@ type options struct {
 	pools       int
 	autoscale   bool
 	flash       bool
+	workers     int
+	reps        int
 	cpuProfile  string
 	memProfile  string
 	benchFresh  bool
@@ -147,7 +157,7 @@ func parseFlags(args []string, errw io.Writer) (*options, int) {
 	o := &options{}
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	fs.StringVar(&o.exp, "exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults|serve|chaos|fleet")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: all|table1|fig6|fig7|eqns|profile|naive|hosts|scaling|pipeline|overhead|faults|serve|chaos|fleet|race")
 	fs.BoolVar(&o.quick, "quick", false, "reduced frame size and image sets")
 	fs.StringVar(&o.jsonPath, "json", "", "write machine-readable results to this path (\"-\" for stdout)")
 	fs.Uint64Var(&o.seed, "seed", 20070710, "workload seed")
@@ -170,6 +180,8 @@ func parseFlags(args []string, errw io.Writer) (*options, int) {
 	fs.IntVar(&o.pools, "pools", 4, "fleet: number of routed blade pools (each of -blades blades)")
 	fs.BoolVar(&o.autoscale, "autoscale", true, "fleet: arm the virtual-time autoscaler (-autoscale=false for a static fleet)")
 	fs.BoolVar(&o.flash, "flash", true, "fleet: add seeded flash-crowd windows to the diurnal load model")
+	fs.IntVar(&o.workers, "workers", 0, "race: executor pool width for real execution (0 = GOMAXPROCS; never affects simulated results)")
+	fs.IntVar(&o.reps, "reps", 0, "race: real-execution repetitions per point, fastest wall time wins (default 3)")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocation profile of the run to this path")
 	fs.BoolVar(&o.benchFresh, "bench-refresh", false, "regenerate the committed benchmark baselines (BENCH_serve.json, BENCH_sweep.json, BENCH_fleet.json)")
@@ -229,8 +241,19 @@ func (o *options) validate() string {
 			return fmt.Sprintf("-%s only applies to -exp fleet, not -exp %s", f, o.exp)
 		}
 	}
+	for _, f := range []string{"workers", "reps"} {
+		if o.set[f] && !expSelects("race") {
+			return fmt.Sprintf("-%s only applies to -exp race, not -exp %s", f, o.exp)
+		}
+	}
 	if o.pools < 1 {
 		return fmt.Sprintf("-pools must be >= 1, got %d", o.pools)
+	}
+	if o.workers < 0 {
+		return fmt.Sprintf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.reps < 0 {
+		return fmt.Sprintf("-reps must be >= 0, got %d", o.reps)
 	}
 	if o.set["watchdog"] {
 		d, err := fault.ParseDuration(o.watchdog)
@@ -270,6 +293,11 @@ func benchRefreshArgs(dir string) [][]string {
 		{"-quick", "-exp", "fig7", "-json", filepath.Join(dir, "BENCH_sweep.json")},
 		{"-quick", "-exp", "fleet", "-pools", "4", "-blades", "2", "-rate", "1.5", "-servesed", "7",
 			"-json", filepath.Join(dir, "BENCH_fleet.json")},
+		// Worker count and rep count are pinned so the deterministic half of
+		// the race baseline is reproducible anywhere; the measured_* keys
+		// that do move between machines are skipped by benchdiff.
+		{"-quick", "-exp", "race", "-workers", "2", "-reps", "2",
+			"-json", filepath.Join(dir, "BENCH_race.json")},
 	}
 }
 
@@ -344,6 +372,10 @@ func runExperiments(o *options, out, errw io.Writer) int {
 			Pools:     o.pools,
 			Autoscale: o.autoscale,
 			Flash:     o.flash,
+		},
+		Race: experiments.RaceConfig{
+			Workers: o.workers,
+			Reps:    o.reps,
 		},
 		Shards:      o.shards,
 		SeqSim:      o.seqSim,
@@ -506,6 +538,14 @@ func runExperiments(o *options, out, errw io.Writer) int {
 			return nil, err
 		}
 		render(func() { experiments.RenderFleet(out, r) })
+		return r, nil
+	})
+	runExp("race", func() (any, error) {
+		r, err := experiments.RaceExp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		render(func() { experiments.RenderRace(out, r) })
 		return r, nil
 	})
 

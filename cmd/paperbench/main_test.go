@@ -57,6 +57,12 @@ func TestFlagValidationMatrix(t *testing.T) {
 		{"fleet flags with fleet exp", []string{"-exp", "fleet", "-pools", "4", "-autoscale=false", "-flash=false"}, -1, ""},
 		{"serve flags with fleet exp", []string{"-exp", "fleet", "-rate", "1.5", "-blades", "2", "-shards", "8", "-seqsim"}, -1, ""},
 		{"faults flag with fleet exp", []string{"-exp", "fleet", "-faults", "blade-crash:blade=0,at=5ms"}, -1, ""},
+		{"workers with wrong exp", []string{"-exp", "serve", "-workers", "2"}, 2, "-workers only applies"},
+		{"reps with wrong exp", []string{"-exp", "fig7", "-reps", "3"}, 2, "-reps only applies"},
+		{"negative workers", []string{"-exp", "race", "-workers", "-1"}, 2, "-workers must be >= 0"},
+		{"negative reps", []string{"-exp", "race", "-reps", "-2"}, 2, "-reps must be >= 0"},
+		{"race flags with race exp", []string{"-exp", "race", "-workers", "2", "-reps", "2"}, -1, ""},
+		{"race flags with all", []string{"-workers", "4"}, -1, ""},
 		{"serve flags with all", []string{"-rate", "2"}, -1, ""},
 		{"bench-refresh alone", []string{"-bench-refresh", "-bench-dir", "fresh"}, -1, ""},
 		{"profiles with any exp", []string{"-exp", "eqns", "-cpuprofile", "cpu.pb", "-memprofile", "mem.pb"}, -1, ""},
@@ -387,5 +393,56 @@ func TestRunBenchRefresh(t *testing.T) {
 	fleetData := experimentData(t, readFileT(t, filepath.Join(dir, "BENCH_fleet.json")))
 	if _, ok := fleetData["fleet"]; !ok {
 		t.Fatalf("BENCH_fleet.json missing fleet experiment: %v", fleetData)
+	}
+	raceData := experimentData(t, readFileT(t, filepath.Join(dir, "BENCH_race.json")))
+	if _, ok := raceData["race"]; !ok {
+		t.Fatalf("BENCH_race.json missing race experiment: %v", raceData)
+	}
+}
+
+// TestRunRaceQuick smoke-tests the estimator race end to end through
+// the CLI: the sidecar carries the per-point error report with the
+// deterministic and measured halves split by the measured_ prefix.
+func TestRunRaceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real kernel execution")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "race.json")
+	var out, errw bytes.Buffer
+	args := []string{"-quick", "-exp", "race", "-workers", "2", "-reps", "1", "-json", jsonPath}
+	if status := run(args, &out, &errw); status != 0 {
+		t.Fatalf("status %d, stderr: %s", status, errw.String())
+	}
+	raw := readFileT(t, jsonPath)
+	var doc struct {
+		Experiments map[string]struct {
+			Data struct {
+				Points        []map[string]json.RawMessage `json:"points"`
+				AllTableMatch bool                         `json:"all_table_match"`
+				AllBitExact   bool                         `json:"all_bit_exact"`
+			} `json:"data"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("sidecar did not parse: %v", err)
+	}
+	race, ok := doc.Experiments["race"]
+	if !ok {
+		t.Fatalf("sidecar missing race experiment: %s", raw)
+	}
+	if !race.Data.AllBitExact || !race.Data.AllTableMatch {
+		t.Fatalf("race run lost its deterministic guarantees: %s", raw)
+	}
+	if len(race.Data.Points) == 0 {
+		t.Fatalf("race report has no points: %s", raw)
+	}
+	for _, field := range []string{"scheme", "k", "sim_service", "est_service", "sim_speedup", "table_match",
+		"measured_wall_ns", "measured_speedup", "measured_rel_err"} {
+		if _, ok := race.Data.Points[0][field]; !ok {
+			t.Fatalf("race point missing %q: %s", field, raw)
+		}
+	}
+	if !strings.Contains(out.String(), "Estimator race") {
+		t.Fatalf("table output missing race render: %s", out.String())
 	}
 }

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cellport/internal/cost"
+	"cellport/internal/marvel"
+)
+
+// TestBackendBitExact is the property the whole race experiment stands
+// on: the executed kernels produce exactly the host-reference features
+// and decisions — for every schedule shape, batch size, variant and
+// worker count. Parallelism is across independent accumulators, so the
+// worker count can never change a bit of output.
+func TestBackendBitExact(t *testing.T) {
+	arts := marvel.NewArtifactCache()
+	host := cost.NewPPE()
+	scenarios := []marvel.Scenario{marvel.SingleSPE, marvel.MultiSPE, marvel.MultiSPE2, marvel.Pipelined}
+	for _, workers := range []int{1, 0} { // serial oracle vs GOMAXPROCS
+		b := NewBackend(Options{Workers: workers, Reps: 1, Artifacts: arts})
+		for _, images := range []int{1, 3} {
+			w := marvel.Workload{Images: images, W: 352, H: 96, Seed: 11}
+			ref, err := arts.Reference(host, w)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, sc := range scenarios {
+				for _, v := range []marvel.Variant{marvel.Naive, marvel.Optimized} {
+					name := fmt.Sprintf("workers=%d/images=%d/%v/%v", workers, images, sc, v)
+					run, err := b.Execute(marvel.ExecPoint{Workload: w, Scenario: sc, Variant: v})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if len(run.Images) != len(ref.Images) {
+						t.Fatalf("%s: got %d images, reference has %d", name, len(run.Images), len(ref.Images))
+					}
+					for i := range run.Images {
+						if m := marvel.CompareImageResults(&ref.Images[i], &run.Images[i]); m != 0 {
+							t.Errorf("%s: image %d differs from host reference in %d fields", name, i, m)
+						}
+					}
+					if run.WallNS <= 0 {
+						t.Errorf("%s: non-positive wall time %d", name, run.WallNS)
+					}
+				}
+			}
+		}
+		b.Close()
+	}
+}
+
+// TestBackendRejectsBadWorkload pins the validation path.
+func TestBackendRejectsBadWorkload(t *testing.T) {
+	b := NewBackend(Options{Workers: 1, Reps: 1, Artifacts: marvel.NewArtifactCache()})
+	defer b.Close()
+	if _, err := b.Execute(marvel.ExecPoint{}); err == nil {
+		t.Fatal("Execute accepted a zero workload")
+	}
+}
+
+// TestBackendInstrumentation checks the clock-domain rules on the
+// instrumented run: all metrics live in the single "exec" component and
+// every trace span sits on an executor lane, never a simulator track.
+func TestBackendInstrumentation(t *testing.T) {
+	var tick time.Duration
+	b := NewBackend(Options{
+		Workers:    1,
+		Reps:       2,
+		Artifacts:  marvel.NewArtifactCache(),
+		Instrument: true,
+		Now: func() time.Duration {
+			tick += time.Millisecond
+			return tick
+		},
+	})
+	defer b.Close()
+	w := marvel.Workload{Images: 2, W: 352, H: 96, Seed: 11}
+	run, err := b.Execute(marvel.ExecPoint{Workload: w, Scenario: marvel.Pipelined, Variant: marvel.Optimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Trace == nil || run.Metrics == nil {
+		t.Fatal("instrumented run returned no trace or metrics")
+	}
+	if got := run.Metrics.Components(); len(got) != 1 || got[0] != "exec" {
+		t.Fatalf("exec metrics components = %v, want [exec] only (clock domains must not mix)", got)
+	}
+	if len(run.Trace.Spans()) == 0 {
+		t.Fatal("instrumented run recorded no spans")
+	}
+	if run.Tasks == 0 {
+		t.Fatal("run counted no tasks")
+	}
+	// Deterministic clock + one worker: a second identical execute must
+	// produce the identical span list.
+	tick = 0
+	run2, err := b.Execute(marvel.ExecPoint{Workload: w, Scenario: marvel.Pipelined, Variant: marvel.Optimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b2 := run.Trace.Spans(), run2.Trace.Spans()
+	if len(a) != len(b2) {
+		t.Fatalf("span counts differ across identical runs: %d vs %d", len(a), len(b2))
+	}
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("span %d differs across identical runs: %+v vs %+v", i, a[i], b2[i])
+		}
+	}
+}

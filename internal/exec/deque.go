@@ -1,0 +1,80 @@
+package exec
+
+import "sync"
+
+// deque is one worker's double-ended task queue. The owner pushes and
+// pops at the bottom (the newest end — LIFO keeps a task chain's working
+// set hot in one worker's cache); thieves take from the top (the oldest
+// end), removing half the queue in one critical section so a single
+// steal rebalances a long backlog instead of migrating it one task at a
+// time.
+//
+// The implementation is a mutex around a slice rather than the classic
+// lock-free Chase-Lev deque: steal-half moves a batch anyway, so the
+// lock is held once per batch and contention is bounded by the steal
+// rate, not the task rate. Locks are never nested — stealHalf releases
+// the victim's lock before touching the thief's — so lock ordering is
+// trivially acyclic.
+type deque struct {
+	mu    sync.Mutex
+	tasks []task // tasks[0] is the top (oldest); the owner works the tail
+}
+
+// push adds a task at the bottom (owner end).
+func (d *deque) push(t task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// pop removes the newest task (owner end, LIFO).
+func (d *deque) pop() (task, bool) {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+// size reports the current queue length (racy between lock drops; used
+// only as a victim-selection hint and in tests).
+func (d *deque) size() int {
+	d.mu.Lock()
+	n := len(d.tasks)
+	d.mu.Unlock()
+	return n
+}
+
+// stealHalf moves the oldest ceil(n/2) tasks from d into the thief's
+// deque and reports how many moved. The stolen batch keeps its age
+// order at the thief's bottom, so the thief starts on the batch's
+// newest task, mirroring what the owner would have run next from that
+// region.
+func (d *deque) stealHalf(thief *deque) int {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	k := (n + 1) / 2
+	got := make([]task, k)
+	copy(got, d.tasks[:k])
+	rest := copy(d.tasks, d.tasks[k:])
+	for i := rest; i < n; i++ {
+		d.tasks[i] = nil
+	}
+	d.tasks = d.tasks[:rest]
+	d.mu.Unlock()
+
+	thief.mu.Lock()
+	thief.tasks = append(thief.tasks, got...)
+	thief.mu.Unlock()
+	return k
+}

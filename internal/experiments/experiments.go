@@ -49,6 +49,10 @@ type Config struct {
 	Collect *Collector
 	// Serve sizes the serving-layer experiment (-exp serve).
 	Serve ServeConfig
+	// Race sizes the estimator-race experiment (-exp race): the same
+	// calibration points the serving layer measures, each also executed
+	// for real on the work-stealing backend.
+	Race RaceConfig
 	// Fleet sizes the fleet-scale serving experiment (-exp fleet); the
 	// per-pool blade count and stream come from Serve.
 	Fleet FleetConfig

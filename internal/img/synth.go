@@ -118,11 +118,19 @@ func jitter(v byte, rng *prng) byte {
 	return byte(n)
 }
 
+// CorpusSeed derives corpus image i's synthesis seed from the corpus
+// seed. Exposed so a consumer that regenerates single frames on demand
+// (the real-execution backend's preprocessing stage) produces exactly
+// the Corpus images.
+func CorpusSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i)*0x9E3779B9
+}
+
 // Corpus generates n distinct deterministic images of the given size.
 func Corpus(seed uint64, n, w, h int) []*RGB {
 	out := make([]*RGB, n)
 	for i := range out {
-		out[i] = Synthesize(seed+uint64(i)*0x9E3779B9, w, h)
+		out[i] = Synthesize(CorpusSeed(seed, i), w, h)
 	}
 	return out
 }

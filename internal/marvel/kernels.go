@@ -190,6 +190,24 @@ func planRange(y0, y1, h, maxRows, halo, granularity int) ([]img.Slice, error) {
 	return rel, nil
 }
 
+// sliceBudget is the maximum transferred rows one slice may occupy given
+// the kernel's free local store after header allocation: each buffered
+// row costs its pixel stride plus the kernel's per-row scratch, the
+// optimized variant double-buffers, and a fixed reserve covers the
+// output vector plus alignment slack. Shared between the simulated
+// kernel and the real-execution seam (ExecPlan) so both always compute
+// identical slice plans.
+func sliceBudget(free uint32, id KernelID, v Variant, w, stride int) int {
+	g := kernelGeom(id)
+	buffers := 1
+	if v == Optimized {
+		buffers = 2
+	}
+	perRow := stride + g.scratchRows*w
+	fixed := outBytes(id) + 64
+	return int(free-fixed)/(buffers*perRow) - 1
+}
+
 // ExtractKernelSpec builds the SPE program for one extraction kernel: the
 // Listing-1 dispatcher around a function that DMAs the header, plans
 // halo'd slices against its local-store budget, streams the image through
@@ -217,14 +235,8 @@ func ExtractKernelSpec(id KernelID, v Variant) core.KernelSpec {
 		}
 
 		// Slice plan against the remaining local store.
-		buffers := 1
-		if v == Optimized {
-			buffers = 2
-		}
 		oBytes := outBytes(id)
-		perRow := stride + g.scratchRows*w
-		fixed := oBytes + 64
-		budget := int(st.Free()-fixed)/(buffers*perRow) - 1
+		budget := sliceBudget(st.Free(), id, v, w, stride)
 		slices, err := planRange(y0, y1, h, budget, g.halo, g.granularity)
 		if err != nil {
 			return resErr
@@ -234,6 +246,10 @@ func ExtractKernelSpec(id KernelID, v Variant) core.KernelSpec {
 			if r := s.TransferRows(); r > maxRows {
 				maxRows = r
 			}
+		}
+		buffers := 1
+		if v == Optimized {
+			buffers = 2
 		}
 		var bufs [2]ls.Addr
 		for i := 0; i < buffers; i++ {

@@ -83,6 +83,12 @@ type PortedConfig struct {
 	// Watchdog overrides the supervision watchdog timeout (zero selects
 	// DefaultWatchdog). Only consulted when Faults is armed.
 	Watchdog sim.Duration
+	// Exec, when non-nil, additionally runs the point's kernels for real
+	// on the execution backend after the simulation finishes, attaching
+	// the measured run to PortedResult.Exec. The simulated half is
+	// untouched: virtual-time results are byte-identical with or without
+	// a backend.
+	Exec ExecBackend
 }
 
 // ErrEmptyWorkload is returned by RunPorted when the workload has no
@@ -136,6 +142,10 @@ type PortedResult struct {
 	// Metrics is the end-of-run snapshot when the machine was configured
 	// with a registry. Excluded from JSON for the same reason.
 	Metrics *metrics.Snapshot `json:"-"`
+	// Exec is the real-execution run when the config carried a backend
+	// (wall-clock domain). Excluded from JSON so -json artifacts are
+	// byte-identical whether or not a backend raced the simulation.
+	Exec *ExecRun `json:"-"`
 }
 
 // extractOrder lists extraction kernels in expected-completion order for
@@ -291,12 +301,25 @@ func (r *PortedRun) Finish(simErr error) (*PortedResult, error) {
 }
 
 // RunPorted executes the ported MARVEL application on a simulated Cell.
+// With an execution backend configured, the same point then runs for
+// real and the measured run rides along on the result.
 func RunPorted(cfg PortedConfig) (*PortedResult, error) {
 	r, err := StartPorted(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return r.Finish(r.Engine().Run())
+	res, err := r.Finish(r.Engine().Run())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Exec != nil {
+		run, err := cfg.Exec.Execute(ExecPoint{Workload: cfg.Workload, Scenario: cfg.Scenario, Variant: cfg.Variant})
+		if err != nil {
+			return nil, fmt.Errorf("marvel: exec backend: %w", err)
+		}
+		res.Exec = run
+	}
+	return res, nil
 }
 
 // portedMain is the PPE main application after porting (Listing 4 shape).

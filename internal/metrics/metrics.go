@@ -285,6 +285,27 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 	return out
 }
 
+// Components returns the sorted set of component names present in the
+// snapshot. Metric keys are namespaced by component, and the namespaces
+// double as clock domains: simulator registries use machine components
+// ("ppe", "spe", "supervisor", ...) whose time-valued metrics are
+// virtual femtoseconds, while the real-execution backend puts all its
+// wall-clock counters under the single "exec" component. A snapshot
+// should live entirely in one domain; tests assert that with this
+// accessor.
+func (s *Snapshot) Components() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, sm := range s.Samples {
+		if !seen[sm.Component] {
+			seen[sm.Component] = true
+			out = append(out, sm.Component)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Get returns the sample for (component, name, type), if present.
 func (s *Snapshot) Get(component, name, typ string) (Sample, bool) {
 	for _, sm := range s.Samples {

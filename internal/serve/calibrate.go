@@ -111,6 +111,25 @@ func (c *Calibration) PerBladeCapacity() float64 { return c.perBlade }
 // total over (scheme, seen geometry, 1..maxBatch) by construction.
 func (c *Calibration) service(k svcKey) svc { return c.services[k] }
 
+// MaxBatch reports the largest batch size the table was measured at.
+func (c *Calibration) MaxBatch() int { return c.maxBatch }
+
+// MeasuredService returns the calibrated (simulated) steady-state
+// service time for a k-image batch under a scheme and geometry — the
+// table entry the serving loop's arithmetic uses. Zero means the point
+// was not calibrated. Exported for the estimator-race harness, which
+// compares these virtual-time predictions against real executions of
+// the same points.
+func (c *Calibration) MeasuredService(s Scheme, tall bool, k int) sim.Duration {
+	return c.services[svcKey{Scheme: s, Tall: tall, K: k}].Service
+}
+
+// EstimatedService returns the Eqs. 1-3 estimate for the same point
+// (zero when the geometry's estimator fit was inconclusive).
+func (c *Calibration) EstimatedService(s Scheme, tall bool, k int) sim.Duration {
+	return c.estService(s, tall, k)
+}
+
 // estService is the estimator's predicted service time for a k-image
 // batch under a scheme: job distribution processes images back to back
 // (Eq. 3 per image), data distribution overlaps PPE preprocessing of

@@ -230,7 +230,12 @@ func (m RateModel) resolve(seed uint64, n int, ratePerSec float64) resolvedModel
 
 // rate is the instantaneous offered rate at virtual time t, as a
 // multiple of the base rate. Flash windows repeat each period, so a
-// multi-day run sees its flash crowds daily at the same phase.
+// multi-day run sees its flash crowds daily at the same phase. The
+// result is clamped at zero: an amplitude above 1 (rejected by
+// Validate, but this layer must not rely on its callers) would
+// otherwise drive the diurnal trough negative, and a negative thinning
+// probability in arrivalsShaped silently accepts every candidate —
+// inverting the intended load shape instead of failing loudly.
 func (r *resolvedModel) rate(t sim.Time) float64 {
 	phase := sim.Duration(t) % r.period
 	mult := 1.0
@@ -242,6 +247,9 @@ func (r *resolvedModel) rate(t sim.Time) float64 {
 			mult *= r.FlashFactor
 			break
 		}
+	}
+	if mult < 0 {
+		mult = 0
 	}
 	return mult
 }

@@ -1,0 +1,30 @@
+package trace
+
+import "cellport/internal/sim"
+
+// Clock domains. The trace format carries one timestamp type, but the
+// repo records in two incommensurable clocks: simulator spans are
+// virtual time (sim.Time femtoseconds of simulated execution) and
+// real-execution spans are host wall clock. Mixing them on one track
+// would render a meaningless timeline, so exported Chrome traces keep
+// the domains on separate processes, named by these prefixes — a
+// `sim/...` process never contains a wall-clock span and an `exec/...`
+// process never contains a virtual-time span. Consumers (and the golden
+// test pinning the export) rely on the prefix to tell the domains
+// apart.
+const (
+	// DomainSim prefixes process labels whose spans are virtual time.
+	DomainSim = "sim/"
+	// DomainExec prefixes process labels whose spans are host wall
+	// clock, encoded via WallNanos.
+	DomainExec = "exec/"
+)
+
+// WallNanos converts a host wall-clock reading (nanoseconds since the
+// run's start) into a trace timestamp. Wall nanoseconds map onto the
+// femtosecond tick so the Chrome export's microsecond conversion shows
+// wall microseconds directly; at this scale the int64 range covers runs
+// of about 2.5 hours, far beyond any measured batch.
+func WallNanos(ns int64) sim.Time {
+	return sim.Time(ns) * sim.Time(sim.Nanosecond)
+}
